@@ -1,0 +1,15 @@
+"""Benchmark / regeneration of ablation A1 (adaptive vs constant schedule)."""
+
+from __future__ import annotations
+
+from repro.experiments import a1_schedule_ablation
+
+
+def test_bench_a1_schedule_ablation(experiment_runner):
+    result = experiment_runner(
+        lambda: a1_schedule_ablation.run(sizes=(8, 16, 32), trials=20, base_seed=101)
+    )
+    # The paper's adaptive schedule must beat the constant schedule on time,
+    # otherwise the "constant overall wake-up pressure" mechanism adds nothing.
+    assert result.finding("constant_schedule_slower")
+    assert result.finding("worst_time_ratio_constant_over_adaptive") > 1.0

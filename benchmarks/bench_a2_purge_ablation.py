@@ -1,0 +1,16 @@
+"""Benchmark / regeneration of ablation A2 (purging at active nodes)."""
+
+from __future__ import annotations
+
+from repro.experiments import a2_purge_ablation
+
+
+def test_bench_a2_purge_ablation(experiment_runner):
+    result = experiment_runner(
+        lambda: a2_purge_ablation.run(sizes=(8, 16), trials=10, base_seed=202)
+    )
+    # The paper's variant is always safe and live ...
+    assert result.finding("paper_variant_always_terminates")
+    assert result.finding("paper_variant_always_single_leader")
+    # ... and removing the purge rule visibly damages the algorithm.
+    assert result.finding("no_purge_breaks_something")

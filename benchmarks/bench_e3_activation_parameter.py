@@ -1,0 +1,17 @@
+"""Benchmark / regeneration of experiment E3 (the A0 trade-off)."""
+
+from __future__ import annotations
+
+from repro.experiments import e3_activation_parameter
+
+
+def test_bench_e3_activation_parameter(experiment_runner):
+    result = experiment_runner(
+        lambda: e3_activation_parameter.run(n=32, trials=12, base_seed=33)
+    )
+    # Larger A0 floods the ring with candidates, so messages must increase.
+    assert result.finding("messages_increase_with_a0")
+    # The recommended A0 (one expected activation per traversal) is close to
+    # the empirical sweet spot of the combined cost.
+    assert result.finding("best_multiplier_at_recommended_scale")
+    assert result.finding("recommended_within_4x_of_best")

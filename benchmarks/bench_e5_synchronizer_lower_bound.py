@@ -1,0 +1,17 @@
+"""Benchmark / regeneration of experiment E5 (Theorem 1, synchronizer cost)."""
+
+from __future__ import annotations
+
+from repro.experiments import e5_synchronizer_lower_bound
+
+
+def test_bench_e5_synchronizer_lower_bound(experiment_runner):
+    result = experiment_runner(
+        lambda: e5_synchronizer_lower_bound.run(sizes=(8, 16, 32), base_seed=55)
+    )
+    # Sound synchronizers (alpha, beta) never undercut the n messages/round bound.
+    assert result.finding("sound_synchronizers_meet_theorem1")
+    # The ABD synchronizer does undercut it ...
+    assert result.finding("abd_synchronizer_undercuts_bound")
+    # ... but only by relying on a hard delay bound: on ABE delays it breaks.
+    assert result.finding("abd_synchronizer_unsound_on_abe")

@@ -1,0 +1,15 @@
+"""Benchmark / regeneration of experiment E7 (delay-family robustness)."""
+
+from __future__ import annotations
+
+from repro.experiments import e7_delay_robustness
+
+
+def test_bench_e7_delay_robustness(experiment_runner):
+    result = experiment_runner(
+        lambda: e7_delay_robustness.run(n=32, trials=12, base_seed=77)
+    )
+    assert result.finding("all_runs_elected")
+    # Identical expected delay => comparable cost, whatever the delay shape.
+    assert result.finding("all_families_within_3x_messages")
+    assert result.finding("all_families_within_3x_time")

@@ -1,0 +1,15 @@
+"""Benchmark / regeneration of experiment E8 (clock-drift robustness)."""
+
+from __future__ import annotations
+
+from repro.experiments import e8_clock_drift
+
+
+def test_bench_e8_clock_drift(experiment_runner):
+    result = experiment_runner(
+        lambda: e8_clock_drift.run(n=32, trials=12, base_seed=88)
+    )
+    # Definition 1(2) is enough: correctness survives drift within the bounds.
+    assert result.finding("always_elected")
+    assert result.finding("always_unique_leader")
+    assert result.finding("degradation_within_3x")

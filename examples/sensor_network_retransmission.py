@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Scenario: leader election in a lossy sensor-network ring.
+
+The paper motivates ABE networks with sensor and ad-hoc networks whose radio
+links lose packets: each transmission succeeds only with probability ``p``, so
+messages are retransmitted until they get through and the delay is unbounded
+-- yet its expectation is ``1/p`` transmissions (Section 1, case iii).
+
+This example builds exactly that scenario:
+
+* it first measures the lossy channel in isolation and checks the ``1/p`` law,
+* then runs the election over rings whose channels *are* such lossy links,
+  for several loss rates, and shows that the algorithm's cost scales with the
+  expected delay ``1/p`` -- the only quantity the ABE model says matters.
+
+Run with::
+
+    python examples/sensor_network_retransmission.py
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import recommended_a0
+from repro.core.runner import run_election
+from repro.network.retransmission import (
+    GeometricRetransmissionDelay,
+    LossyChannelModel,
+    expected_transmissions,
+)
+from repro.sim.rng import RandomSource
+from repro.stats.estimators import summarise
+
+
+def measure_channel(p: float, messages: int = 5_000) -> None:
+    """Check the 1/p law on an isolated lossy channel."""
+    channel = LossyChannelModel(success_probability=p, transmission_time=1.0)
+    rng = RandomSource(1234).stream(f"lossy/{p}")
+    for _ in range(messages):
+        channel.transmit(rng)
+    print(
+        f"  p={p:.2f}: expected transmissions {expected_transmissions(p):5.2f}, "
+        f"measured {channel.observed_mean_attempts():5.2f} over {messages} messages"
+    )
+
+
+def election_over_lossy_ring(p: float, ring_size: int, trials: int = 10) -> None:
+    """Elect leaders over a ring whose links retransmit with success prob p."""
+    delay = GeometricRetransmissionDelay(success_probability=p, transmission_time=1.0)
+    a0 = recommended_a0(ring_size)
+    times = []
+    messages = []
+    for seed in range(trials):
+        result = run_election(
+            ring_size,
+            a0=a0,
+            delay=delay,
+            seed=seed,
+            expected_delay_bound=delay.mean(),
+        )
+        assert result.elected, "every trial should elect a leader"
+        times.append(result.election_time)
+        messages.append(float(result.messages_total))
+    time_summary = summarise(times)
+    msg_summary = summarise(messages)
+    print(
+        f"  p={p:.2f} (delta={delay.mean():4.1f}): "
+        f"time {time_summary.mean:8.1f} +/- {time_summary.sem:5.1f}   "
+        f"messages {msg_summary.mean:6.1f} +/- {msg_summary.sem:4.1f}"
+    )
+
+
+def main() -> int:
+    print("1) the lossy channel in isolation (Section 1, case iii: k_avg = 1/p)")
+    for p in (0.9, 0.5, 0.25, 0.1):
+        measure_channel(p)
+
+    ring_size = 16
+    print()
+    print(f"2) election over a {ring_size}-node sensor ring with lossy links")
+    print("   (expected per-hop delay is 1/p; election time scales with it,")
+    print("    message count stays roughly constant -- only delta matters)")
+    for p in (0.9, 0.5, 0.25):
+        election_over_lossy_ring(p, ring_size)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

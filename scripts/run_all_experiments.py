@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Run every experiment at its default (EXPERIMENTS.md) scale and save a report.
+
+Usage::
+
+    python scripts/run_all_experiments.py [output_path]
+
+The output is the concatenation of every experiment's rendered tables and
+findings -- the source material for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.reporting import render_experiment
+
+
+def main() -> int:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "experiments_report.txt"
+    sections = []
+    for experiment_id in sorted(ALL_EXPERIMENTS):
+        module = ALL_EXPERIMENTS[experiment_id]
+        started = time.time()
+        print(f"running {experiment_id} ({module.TITLE}) ...", flush=True)
+        result = module.run()
+        elapsed = time.time() - started
+        sections.append(render_experiment(result))
+        sections.append(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+        print(f"  done in {elapsed:.1f}s", flush=True)
+    report = "\n".join(sections)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    print(f"report written to {output_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

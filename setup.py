@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+editable installs (``pip install -e .``) work in offline environments whose
+pip falls back to the legacy ``setup.py develop`` code path when the ``wheel``
+package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

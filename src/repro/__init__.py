@@ -1,0 +1,72 @@
+"""repro -- Asynchronous Bounded Expected Delay (ABE) networks.
+
+A from-scratch reproduction of
+
+    R. Bakhshi, J. Endrullis, W. Fokkink, J. Pang.
+    "Brief Announcement: Asynchronous Bounded Expected Delay Networks."
+    PODC 2010.
+
+The library provides:
+
+* the ABE / ABD / asynchronous / synchronous network-model taxonomy
+  (:mod:`repro.models`);
+* a deterministic discrete-event simulation substrate with drifting local
+  clocks and stochastic message delays (:mod:`repro.sim`,
+  :mod:`repro.network`);
+* the paper's probabilistic leader-election algorithm for anonymous
+  unidirectional ABE rings, plus verification of its correctness obligations
+  (:mod:`repro.core`);
+* synchronizers and the Theorem 1 lower-bound experiment
+  (:mod:`repro.synchronizers`);
+* baseline leader-election algorithms for comparison (:mod:`repro.algorithms`);
+* statistics (:mod:`repro.stats`) and the experiment harness
+  (:mod:`repro.experiments`) that regenerate every quantitative claim in the
+  paper.
+
+Quickstart
+----------
+>>> from repro import run_election
+>>> result = run_election(n=16, a0=0.3, seed=7)
+>>> result.elected
+True
+"""
+
+from repro.core import (
+    AbeElectionProgram,
+    AdaptiveActivation,
+    ConstantActivation,
+    ElectionResult,
+    recommended_a0,
+    run_election,
+    verify_election,
+)
+from repro.models import ABDModel, ABEModel, AsynchronousModel, SynchronousModel
+from repro.network import (
+    ExponentialDelay,
+    GeometricRetransmissionDelay,
+    Network,
+    NetworkConfig,
+    unidirectional_ring,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "run_election",
+    "recommended_a0",
+    "ElectionResult",
+    "AbeElectionProgram",
+    "AdaptiveActivation",
+    "ConstantActivation",
+    "verify_election",
+    "ABEModel",
+    "ABDModel",
+    "AsynchronousModel",
+    "SynchronousModel",
+    "Network",
+    "NetworkConfig",
+    "unidirectional_ring",
+    "ExponentialDelay",
+    "GeometricRetransmissionDelay",
+]

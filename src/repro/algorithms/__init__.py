@@ -1,0 +1,41 @@
+"""Distributed algorithms used as baselines and substrates.
+
+Two families live here:
+
+* **Leader-election baselines** (:mod:`repro.algorithms.leader_election`) --
+  the algorithms the paper positions itself against: the probabilistic
+  Itai-Rodeh election for anonymous rings, and the classical
+  identifier-based ring elections (Chang-Roberts, Dolev-Klawe-Rodeh /
+  Peterson, Franklin).  Experiment E6 compares their message complexity with
+  the ABE election algorithm.
+* **Auxiliary algorithms** -- asynchronous flooding, echo (wave) and ring
+  traversal used as building blocks and test workloads, plus the *synchronous*
+  client algorithms (:mod:`repro.algorithms.synchronous`) that the
+  synchronizers of :mod:`repro.synchronizers` execute round-by-round.
+"""
+
+from repro.algorithms.base import ElectionTally, LeaderElectionProgram, run_ring_election
+from repro.algorithms.flooding import FloodingProgram
+from repro.algorithms.echo import EchoProgram
+from repro.algorithms.traversal import RingTraversalProgram
+from repro.algorithms.synchronous import (
+    FloodingSync,
+    MaxComputationSync,
+    RoundCounterSync,
+    SynchronousExecutor,
+    SyncProcess,
+)
+
+__all__ = [
+    "ElectionTally",
+    "LeaderElectionProgram",
+    "run_ring_election",
+    "FloodingProgram",
+    "EchoProgram",
+    "RingTraversalProgram",
+    "SyncProcess",
+    "SynchronousExecutor",
+    "FloodingSync",
+    "MaxComputationSync",
+    "RoundCounterSync",
+]

@@ -1,0 +1,80 @@
+"""The echo (wave) algorithm.
+
+A classic termination-detecting broadcast: the initiator sends tokens to all
+neighbours; every other node, upon its first token, records the sender as its
+parent and forwards tokens to its remaining neighbours; once a node has
+received tokens from *all* neighbours it echoes back to its parent.  When the
+initiator has heard from all neighbours the wave has covered the network and
+the initiator *decides*.
+
+The echo algorithm serves two purposes in this library: it exercises the
+substrate on arbitrary (non-ring) topologies, and its decide event gives the
+integration tests a natural "global termination" milestone whose time can be
+related to the expected-delay bound of the ABE model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.network.node import NodeProgram
+
+__all__ = ["EchoToken", "EchoProgram"]
+
+
+@dataclass(frozen=True)
+class EchoToken:
+    """A wave token; ``is_echo`` marks the reply travelling back to the parent."""
+
+    wave_id: int
+    is_echo: bool = False
+
+
+class EchoProgram(NodeProgram):
+    """Per-node echo/wave program for bidirectional topologies.
+
+    The algorithm identifies its parent by the uid of the neighbour whose
+    token arrived first and replies over the outgoing channel leading back to
+    it, so it works on any topology in which every link is bidirectional
+    (line, star, tree, grid, bidirectional ring, connected random graphs).
+    """
+
+    def __init__(self, is_initiator: bool = False, wave_id: int = 0) -> None:
+        super().__init__()
+        self.is_initiator = is_initiator
+        self.wave_id = wave_id
+        self.parent_uid: Optional[int] = None
+        self.tokens_received = 0
+        self.decided = False
+
+    def on_start(self) -> None:
+        if self.is_initiator:
+            self.send_all(EchoToken(wave_id=self.wave_id))
+
+    def on_receive(self, payload: EchoToken, port: int) -> None:
+        if not isinstance(payload, EchoToken):
+            raise TypeError(f"unexpected payload {payload!r}")
+        self.tokens_received += 1
+        sender_uid = self.in_neighbor(port)
+        if not self.is_initiator and self.parent_uid is None and not payload.is_echo:
+            self.parent_uid = sender_uid
+            for out_port in range(self.out_degree):
+                if self.out_neighbor(out_port) != sender_uid:
+                    self.send(out_port, EchoToken(wave_id=self.wave_id))
+        if self.tokens_received == self.in_degree:
+            self._complete()
+
+    def _complete(self) -> None:
+        if self.is_initiator:
+            self.decided = True
+            self.metrics.increment("echo_decisions")
+            self.metrics.mark("echo_decided", self.now)
+            self.trace("decide", wave=self.wave_id)
+        else:
+            assert self.parent_uid is not None
+            self.send(self.port_to(self.parent_uid), EchoToken(wave_id=self.wave_id, is_echo=True))
+
+    def result(self) -> bool:
+        """``True`` at the initiator once the wave has completed."""
+        return self.decided

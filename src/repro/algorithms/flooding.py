@@ -1,0 +1,68 @@
+"""Asynchronous flooding (information dissemination).
+
+A designated initiator floods a value through the network: every node forwards
+the value to all neighbours the first time it receives it.  Flooding is used
+as a simple workload for the network substrate tests and as the asynchronous
+counterpart of :class:`repro.algorithms.synchronous.FloodingSync`, whose
+round-by-round behaviour under a synchronizer is compared against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.network.node import NodeProgram
+
+__all__ = ["FloodMessage", "FloodingProgram"]
+
+
+@dataclass(frozen=True)
+class FloodMessage:
+    """The flooded value plus the hop distance it has travelled."""
+
+    value: Any
+    hops: int
+
+
+class FloodingProgram(NodeProgram):
+    """Per-node flooding program.
+
+    Parameters
+    ----------
+    is_initiator:
+        Whether this node starts the flood.
+    value:
+        The value the initiator floods (ignored at non-initiators).
+    """
+
+    def __init__(self, is_initiator: bool = False, value: Any = None) -> None:
+        super().__init__()
+        self.is_initiator = is_initiator
+        self.initial_value = value
+        self.received_value: Any = None
+        self.received_hops: Optional[int] = None
+        self.informed = False
+
+    def on_start(self) -> None:
+        if not self.is_initiator:
+            return
+        self.informed = True
+        self.received_value = self.initial_value
+        self.received_hops = 0
+        self.send_all(FloodMessage(value=self.initial_value, hops=1))
+
+    def on_receive(self, payload: FloodMessage, port: int) -> None:
+        if not isinstance(payload, FloodMessage):
+            raise TypeError(f"unexpected payload {payload!r}")
+        if self.informed:
+            return
+        self.informed = True
+        self.received_value = payload.value
+        self.received_hops = payload.hops
+        self.metrics.increment("flood_informed")
+        self.send_all(FloodMessage(value=payload.value, hops=payload.hops + 1))
+
+    def result(self) -> Any:
+        """The value this node learned (``None`` if never informed)."""
+        return self.received_value

@@ -1,0 +1,44 @@
+"""Baseline leader-election algorithms for rings.
+
+These are the algorithms the paper's introduction measures itself against:
+
+* :mod:`~repro.algorithms.leader_election.itai_rodeh` -- probabilistic
+  election for *anonymous* rings with known size (Itai & Rodeh 1990), the
+  reference point for "the most optimal leader election algorithms known for
+  anonymous, synchronous rings".
+* :mod:`~repro.algorithms.leader_election.chang_roberts` -- the classical
+  identifier-based unidirectional election (O(n log n) average, O(n^2) worst
+  case messages).
+* :mod:`~repro.algorithms.leader_election.dolev_klawe_rodeh` -- the
+  O(n log n) worst-case unidirectional election (independently discovered by
+  Peterson).
+* :mod:`~repro.algorithms.leader_election.franklin` -- the O(n log n)
+  bidirectional election.
+
+Each module exposes both the :class:`~repro.network.node.NodeProgram`
+subclass and a ``run_*`` convenience wrapper returning a
+:class:`~repro.algorithms.base.RingElectionResult`, so experiment E6 can drive
+all of them uniformly.
+"""
+
+from repro.algorithms.leader_election.itai_rodeh import ItaiRodehProgram, run_itai_rodeh
+from repro.algorithms.leader_election.chang_roberts import (
+    ChangRobertsProgram,
+    run_chang_roberts,
+)
+from repro.algorithms.leader_election.dolev_klawe_rodeh import (
+    DolevKlaweRodehProgram,
+    run_dolev_klawe_rodeh,
+)
+from repro.algorithms.leader_election.franklin import FranklinProgram, run_franklin
+
+__all__ = [
+    "ItaiRodehProgram",
+    "run_itai_rodeh",
+    "ChangRobertsProgram",
+    "run_chang_roberts",
+    "DolevKlaweRodehProgram",
+    "run_dolev_klawe_rodeh",
+    "FranklinProgram",
+    "run_franklin",
+]

@@ -1,0 +1,309 @@
+"""Synchronous algorithms and their round-by-round executor.
+
+Synchronizers (Section 2 of the paper, Theorem 1) exist to run *synchronous*
+algorithms on weaker network models.  This module defines
+
+* :class:`SyncProcess` -- the interface of a per-node synchronous algorithm:
+  produce the messages of round 0, then repeatedly consume the messages
+  delivered in round ``r`` and produce the messages of round ``r + 1``;
+* :class:`SynchronousExecutor` -- the ground-truth executor that runs
+  :class:`SyncProcess` instances in lockstep global rounds (the "synchronous
+  network" of the paper);
+* three concrete synchronous algorithms used as synchronizer clients:
+  :class:`FloodingSync`, :class:`MaxComputationSync` and
+  :class:`RoundCounterSync`.
+
+The synchronizers in :mod:`repro.synchronizers` host the very same
+:class:`SyncProcess` objects and must deliver the same per-node results as the
+executor -- that equivalence is one of the correctness obligations listed in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.network.topology import Topology
+
+__all__ = [
+    "SyncContext",
+    "SyncProcess",
+    "SynchronousExecutor",
+    "SyncExecutionResult",
+    "FloodingSync",
+    "MaxComputationSync",
+    "RoundCounterSync",
+]
+
+
+@dataclass(frozen=True)
+class SyncContext:
+    """Static knowledge handed to a :class:`SyncProcess` before round 0."""
+
+    uid: int
+    n: int
+    out_degree: int
+    in_degree: int
+
+
+class SyncProcess(abc.ABC):
+    """A per-node synchronous algorithm.
+
+    Life cycle::
+
+        process.setup(ctx)
+        outbox = process.initial_messages()          # round 0 sends
+        while not process.finished:
+            inbox = <messages delivered this round>   # {in_port: payload}
+            outbox = process.compute(r, inbox)        # round r+1 sends
+
+    Messages are addressed by *outgoing port*; the inbox is keyed by
+    *incoming port*.  A process that returns an empty outbox simply sends
+    nothing that round (the synchronizer may still need to send padding
+    messages -- that is exactly the overhead Theorem 1 is about).
+    """
+
+    def __init__(self) -> None:
+        self.ctx: Optional[SyncContext] = None
+
+    def setup(self, ctx: SyncContext) -> None:
+        """Install the static context (called once before round 0)."""
+        self.ctx = ctx
+
+    def _require_ctx(self) -> SyncContext:
+        if self.ctx is None:
+            raise RuntimeError(f"{type(self).__name__}.setup() was never called")
+        return self.ctx
+
+    @abc.abstractmethod
+    def initial_messages(self) -> Dict[int, Any]:
+        """Messages to send in round 0, keyed by outgoing port."""
+
+    @abc.abstractmethod
+    def compute(self, round_index: int, inbox: Dict[int, Any]) -> Dict[int, Any]:
+        """Consume round ``round_index`` messages, return round ``r+1`` sends."""
+
+    @property
+    @abc.abstractmethod
+    def finished(self) -> bool:
+        """Whether the process has terminated locally."""
+
+    def result(self) -> Any:
+        """Algorithm-specific output (defaults to ``None``)."""
+        return None
+
+
+@dataclass
+class SyncExecutionResult:
+    """Outcome of a synchronous (or synchronized) execution."""
+
+    rounds: int
+    results: List[Any]
+    algorithm_messages: int
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+class SynchronousExecutor:
+    """Runs :class:`SyncProcess` instances in lockstep global rounds.
+
+    This is the reference semantics ("synchronous network"): all round-``r``
+    messages are delivered before any round-``r+1`` computation happens.  The
+    synchronizer correctness tests compare against its output.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        process_factory: Callable[[int], SyncProcess],
+    ) -> None:
+        self.topology = topology
+        self.processes: List[SyncProcess] = []
+        # Port maps identical to the ones Network builds: the k-th outgoing
+        # edge of u is out-port k; the k-th incoming edge of v is in-port k.
+        self._out_ports: Dict[int, List[int]] = {u: [] for u in range(topology.n)}
+        self._in_port_of_edge: Dict[int, int] = {}
+        in_counts = {u: 0 for u in range(topology.n)}
+        for edge_index, (source, destination) in enumerate(topology.edges):
+            self._out_ports[source].append(edge_index)
+            self._in_port_of_edge[edge_index] = in_counts[destination]
+            in_counts[destination] += 1
+        for uid in range(topology.n):
+            process = process_factory(uid)
+            process.setup(
+                SyncContext(
+                    uid=uid,
+                    n=topology.n,
+                    out_degree=topology.out_degree(uid),
+                    in_degree=topology.in_degree(uid),
+                )
+            )
+            self.processes.append(process)
+
+    def _route(self, sender: int, outbox: Dict[int, Any]) -> List:
+        """Translate an outbox into ``(destination, in_port, payload)`` triples."""
+        deliveries = []
+        for out_port, payload in outbox.items():
+            if not (0 <= out_port < len(self._out_ports[sender])):
+                raise ValueError(
+                    f"process {sender} addressed non-existent out port {out_port}"
+                )
+            edge_index = self._out_ports[sender][out_port]
+            destination = self.topology.edges[edge_index][1]
+            in_port = self._in_port_of_edge[edge_index]
+            deliveries.append((destination, in_port, payload))
+        return deliveries
+
+    def run(self, max_rounds: int = 10_000) -> SyncExecutionResult:
+        """Execute until every process is finished (or ``max_rounds`` is hit)."""
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        total_messages = 0
+        outboxes = [process.initial_messages() for process in self.processes]
+        rounds = 0
+        for round_index in range(max_rounds):
+            if all(process.finished for process in self.processes):
+                break
+            inboxes: List[Dict[int, Any]] = [dict() for _ in self.processes]
+            for sender, outbox in enumerate(outboxes):
+                for destination, in_port, payload in self._route(sender, outbox):
+                    inboxes[destination][in_port] = payload
+                total_messages += len(outbox)
+            outboxes = [
+                process.compute(round_index, inboxes[uid]) if not process.finished else {}
+                for uid, process in enumerate(self.processes)
+            ]
+            rounds = round_index + 1
+        return SyncExecutionResult(
+            rounds=rounds,
+            results=[process.result() for process in self.processes],
+            algorithm_messages=total_messages,
+        )
+
+
+# --------------------------------------------------------------------- clients
+
+
+class FloodingSync(SyncProcess):
+    """Synchronous flooding: the initiator's value spreads one hop per round.
+
+    A node terminates once it has known the value for one full round (so its
+    forwarding send has happened); the executor stops when everyone is done.
+    """
+
+    def __init__(self, is_initiator: bool = False, value: Any = None, max_rounds: int = 0) -> None:
+        super().__init__()
+        self.is_initiator = is_initiator
+        self.value = value if is_initiator else None
+        self.learned_round: Optional[int] = -1 if is_initiator else None
+        self.max_rounds = max_rounds
+        self._forwarded = False
+        self._rounds_seen = 0
+
+    def initial_messages(self) -> Dict[int, Any]:
+        ctx = self._require_ctx()
+        if self.is_initiator:
+            self._forwarded = True
+            return {port: self.value for port in range(ctx.out_degree)}
+        return {}
+
+    def compute(self, round_index: int, inbox: Dict[int, Any]) -> Dict[int, Any]:
+        ctx = self._require_ctx()
+        self._rounds_seen = round_index + 1
+        if self.value is None and inbox:
+            self.value = next(iter(inbox.values()))
+            self.learned_round = round_index
+            self._forwarded = True
+            return {port: self.value for port in range(ctx.out_degree)}
+        return {}
+
+    @property
+    def finished(self) -> bool:
+        # Flooding needs at most n - 1 rounds to reach everyone; the process
+        # simply runs for that fixed horizon (or the user-supplied one).
+        ctx = self.ctx
+        horizon = self.max_rounds if self.max_rounds else (ctx.n if ctx else 1)
+        return self._rounds_seen >= horizon
+
+    def result(self) -> Any:
+        return (self.value, self.learned_round)
+
+
+class MaxComputationSync(SyncProcess):
+    """Every node learns the global maximum of the per-node inputs.
+
+    Each round a node sends its current maximum to all neighbours and adopts
+    the largest value it hears.  After ``rounds_needed`` rounds (defaults to
+    ``n``, an upper bound on the diameter) every node holds the global
+    maximum.  This is the canonical client for the synchronizer-equivalence
+    tests because its result is sensitive to any lost or mis-rounded message.
+    """
+
+    def __init__(self, value: float, rounds_needed: Optional[int] = None) -> None:
+        super().__init__()
+        self.current = value
+        self.rounds_needed = rounds_needed
+        self._round = 0
+
+    def initial_messages(self) -> Dict[int, Any]:
+        ctx = self._require_ctx()
+        return {port: self.current for port in range(ctx.out_degree)}
+
+    def compute(self, round_index: int, inbox: Dict[int, Any]) -> Dict[int, Any]:
+        ctx = self._require_ctx()
+        for value in inbox.values():
+            if value > self.current:
+                self.current = value
+        self._round = round_index + 1
+        if self.finished:
+            return {}
+        return {port: self.current for port in range(ctx.out_degree)}
+
+    @property
+    def finished(self) -> bool:
+        ctx = self.ctx
+        needed = self.rounds_needed if self.rounds_needed is not None else (ctx.n if ctx else 1)
+        return self._round >= needed
+
+    def result(self) -> float:
+        return self.current
+
+
+class RoundCounterSync(SyncProcess):
+    """A heartbeat process that runs a fixed number of rounds.
+
+    Every round it sends one message per outgoing port, so the *algorithm*
+    message count is exactly ``rounds * sum(out_degree)`` -- a known baseline
+    against which the synchronizer's added control messages (Theorem 1's
+    ``>= n`` per round) can be measured precisely.
+    """
+
+    def __init__(self, rounds: int) -> None:
+        super().__init__()
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.rounds = rounds
+        self._round = 0
+        self.heartbeats_received = 0
+
+    def initial_messages(self) -> Dict[int, Any]:
+        ctx = self._require_ctx()
+        return {port: ("hb", 0) for port in range(ctx.out_degree)}
+
+    def compute(self, round_index: int, inbox: Dict[int, Any]) -> Dict[int, Any]:
+        ctx = self._require_ctx()
+        self.heartbeats_received += len(inbox)
+        self._round = round_index + 1
+        if self.finished:
+            return {}
+        return {port: ("hb", self._round) for port in range(ctx.out_degree)}
+
+    @property
+    def finished(self) -> bool:
+        return self._round >= self.rounds
+
+    def result(self) -> int:
+        return self.heartbeats_received

@@ -1,0 +1,81 @@
+"""Ring traversal (token circulation).
+
+The simplest possible ring workload: a single token is passed around the ring
+a configurable number of laps.  It is used by the substrate tests (delivery
+order, delay accounting, clock interaction) and by the examples to illustrate
+how expected traversal time relates to the expected-delay bound ``delta`` of
+the ABE model: one lap over ``n`` channels with expected per-hop delay
+``delta`` takes ``n * delta`` expected time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.network.node import NodeProgram
+
+__all__ = ["TraversalToken", "RingTraversalProgram"]
+
+RING_PORT = 0
+
+
+@dataclass(frozen=True)
+class TraversalToken:
+    """The circulating token: total hops travelled and lap count so far."""
+
+    hops: int
+    laps: int
+
+
+class RingTraversalProgram(NodeProgram):
+    """Per-node token-passing program for unidirectional rings.
+
+    Parameters
+    ----------
+    is_initiator:
+        The single node that injects the token and counts laps.
+    target_laps:
+        Number of full laps after which the initiator stops the circulation.
+    """
+
+    def __init__(self, is_initiator: bool = False, target_laps: int = 1) -> None:
+        super().__init__()
+        if target_laps < 1:
+            raise ValueError("target_laps must be >= 1")
+        self.is_initiator = is_initiator
+        self.target_laps = target_laps
+        self.completed_laps = 0
+        self.lap_times: List[float] = []
+        self.tokens_seen = 0
+        self._lap_start: Optional[float] = None
+
+    def on_start(self) -> None:
+        if self.is_initiator:
+            self._lap_start = self.now
+            self.send(RING_PORT, TraversalToken(hops=1, laps=0))
+
+    def on_receive(self, payload: TraversalToken, port: int) -> None:
+        if not isinstance(payload, TraversalToken):
+            raise TypeError(f"unexpected payload {payload!r}")
+        self.tokens_seen += 1
+        if self.is_initiator:
+            self._complete_lap(payload)
+        else:
+            self.send(RING_PORT, TraversalToken(hops=payload.hops + 1, laps=payload.laps))
+
+    def _complete_lap(self, payload: TraversalToken) -> None:
+        self.completed_laps += 1
+        if self._lap_start is not None:
+            self.lap_times.append(self.now - self._lap_start)
+        self.metrics.increment("laps_completed")
+        if self.completed_laps >= self.target_laps:
+            self.trace("done", laps=self.completed_laps)
+            self._require_node().network.request_stop()
+            return
+        self._lap_start = self.now
+        self.send(RING_PORT, TraversalToken(hops=payload.hops + 1, laps=self.completed_laps))
+
+    def result(self) -> int:
+        """Number of completed laps observed by this node (initiator only)."""
+        return self.completed_laps

@@ -1,0 +1,126 @@
+"""Command-line interface.
+
+Installed as the ``abe-repro`` console script.  Three sub-commands:
+
+``abe-repro elect``
+    Run one leader election on an ABE ring and print the outcome.
+
+``abe-repro experiment <id>``
+    Run one of the experiments (e1..e8, a1, a2) with optionally reduced trial
+    counts and print its tables -- the same tables EXPERIMENTS.md records.
+
+``abe-repro list``
+    List the available experiments with their claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.analysis import recommended_a0
+from repro.core.runner import run_election
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.reporting import render_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="abe-repro",
+        description=(
+            "Asynchronous Bounded Expected Delay networks -- reproduction of "
+            "Bakhshi et al., PODC 2010"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    elect = subparsers.add_parser("elect", help="run one election on an ABE ring")
+    elect.add_argument("--n", type=int, default=32, help="ring size (default 32)")
+    elect.add_argument(
+        "--a0",
+        type=float,
+        default=None,
+        help="base activation parameter (default: recommended for n)",
+    )
+    elect.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    elect.add_argument(
+        "--delta", type=float, default=1.0, help="expected delay bound (default 1.0)"
+    )
+
+    experiment = subparsers.add_parser("experiment", help="run one experiment")
+    experiment.add_argument(
+        "experiment_id", choices=sorted(ALL_EXPERIMENTS), help="experiment to run"
+    )
+    experiment.add_argument(
+        "--trials", type=int, default=None, help="override the number of trials"
+    )
+    experiment.add_argument(
+        "--seed", type=int, default=None, help="override the base seed"
+    )
+
+    subparsers.add_parser("list", help="list available experiments")
+    return parser
+
+
+def _command_elect(args: argparse.Namespace) -> int:
+    from repro.network.delays import ExponentialDelay
+
+    a0 = args.a0 if args.a0 is not None else recommended_a0(args.n)
+    result = run_election(
+        args.n, a0=a0, delay=ExponentialDelay(mean=args.delta), seed=args.seed
+    )
+    print(f"ring size          : {result.n}")
+    print(f"activation A0      : {a0:.6g}")
+    print(f"leader elected     : {result.elected}")
+    print(f"leader uid         : {result.leader_uid}")
+    print(f"election time      : {result.election_time:.4f}" if result.election_time else "election time      : -")
+    print(f"messages sent      : {result.messages_total}")
+    print(f"activations        : {result.activations}")
+    print(f"knockout messages  : {result.knockout_messages}")
+    print(f"clock ticks        : {result.ticks}")
+    return 0 if result.elected else 1
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
+    module = ALL_EXPERIMENTS[args.experiment_id]
+    supported = set(inspect.signature(module.run).parameters)
+    kwargs = {}
+    if args.trials is not None and "trials" in supported:
+        kwargs["trials"] = args.trials
+    if args.seed is not None and "base_seed" in supported:
+        kwargs["base_seed"] = args.seed
+    result = module.run(**kwargs)
+    print(render_experiment(result))
+    return 0
+
+
+def _command_list() -> int:
+    for experiment_id in sorted(ALL_EXPERIMENTS):
+        module = ALL_EXPERIMENTS[experiment_id]
+        print(f"{experiment_id}: {module.TITLE}")
+        print(f"    {module.CLAIM}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``abe-repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "elect":
+        return _command_elect(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    if args.command == "list":
+        return _command_list()
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

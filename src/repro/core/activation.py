@@ -1,0 +1,80 @@
+"""Activation-probability schedules.
+
+At every local clock tick an *idle* node decides whether to become active.
+The paper's algorithm uses the adaptive probability
+
+    P(activate | d) = 1 - (1 - A0)^d
+
+where ``d`` is the node's current hop-count knowledge (``d - 1`` of its
+predecessors are known to be passive).  The intuition, quoted from Section 3:
+"By taking ``1 - (1 - A0)^d`` as wake-up probability for nodes A, we achieve
+that the overall wake-up probability for all nodes stays constant over time.
+This ensures that the algorithm has linear time and message complexity."
+
+:class:`ConstantActivation` (always ``A0``) is the naive alternative; the
+ablation experiment A1 shows that it loses the constant-pressure property and
+with it the linear complexity, which is why the adaptive rule matters.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["ActivationSchedule", "AdaptiveActivation", "ConstantActivation"]
+
+
+def _validate_base(a0: float) -> float:
+    if not (0.0 < a0 < 1.0):
+        raise ValueError(f"base activation parameter A0 must lie in (0, 1), got {a0}")
+    return float(a0)
+
+
+class ActivationSchedule(abc.ABC):
+    """Maps the node's hop knowledge ``d`` to an activation probability."""
+
+    @abc.abstractmethod
+    def probability(self, d: int) -> float:
+        """Activation probability for a node with current knowledge ``d >= 1``."""
+
+    def validate_d(self, d: int) -> None:
+        """Common argument check shared by the concrete schedules."""
+        if d < 1:
+            raise ValueError(f"hop knowledge d must be >= 1, got {d}")
+
+
+class AdaptiveActivation(ActivationSchedule):
+    """The paper's schedule: ``P(activate) = 1 - (1 - A0)^d``.
+
+    As nodes learn that more of their predecessors are passive (``d`` grows),
+    they become more eager to activate, exactly compensating for the shrinking
+    number of idle nodes and keeping the ring-wide wake-up pressure constant.
+    """
+
+    def __init__(self, a0: float) -> None:
+        self.a0 = _validate_base(a0)
+
+    def probability(self, d: int) -> float:
+        self.validate_d(d)
+        return 1.0 - (1.0 - self.a0) ** d
+
+    def __repr__(self) -> str:
+        return f"AdaptiveActivation(a0={self.a0})"
+
+
+class ConstantActivation(ActivationSchedule):
+    """Naive schedule: activate with fixed probability ``A0`` regardless of ``d``.
+
+    Used only as the ablation baseline (experiment A1).  With this schedule
+    the ring-wide wake-up pressure decays as nodes become passive, so the last
+    surviving candidates dawdle and the expected running time degrades.
+    """
+
+    def __init__(self, a0: float) -> None:
+        self.a0 = _validate_base(a0)
+
+    def probability(self, d: int) -> float:
+        self.validate_d(d)
+        return self.a0
+
+    def __repr__(self) -> str:
+        return f"ConstantActivation(a0={self.a0})"

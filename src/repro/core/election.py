@@ -1,0 +1,271 @@
+"""The ABE election algorithm for anonymous, unidirectional rings (Section 3).
+
+Every node runs the same program (anonymity: no identifiers are consulted) and
+is in one of four states: **idle**, **active**, **passive** or **leader**.
+Initially all nodes are idle and store ``d = 1``.  The behaviour, verbatim
+from the paper:
+
+* If A is idle, then at every clock tick, with probability
+  ``1 - (1 - A0)^{d(A)}``, A becomes active, and in this case sends the
+  message ``<1>``.
+* If A receives a message ``<hop>``, it sets ``d(A) = max(d(A), hop)``.  In
+  addition, depending on its current state:
+
+  (i)   if A is idle, it becomes passive and sends ``<d(A) + 1>``;
+  (ii)  if A is passive, it sends ``<d(A) + 1>``;
+  (iii) if A is active, it becomes **leader** if ``hop = n``, and otherwise it
+        becomes idle, purging the message in both cases.
+
+Messages thus "knock out" idle nodes on their way; a message reaching an
+active node either crowns it (after a full traversal, ``hop = n``) or knocks
+it back to idle.
+
+Two behaviours are not pinned down by the two-page announcement and are made
+explicit (and configurable) here:
+
+* **Messages arriving at a leader** are purged.  After the election exactly
+  one node is the leader and every other node is idle or passive, so purging
+  at the leader is what guarantees that residual in-flight messages drain.
+* **Purging at active nodes** can be switched off (``purge_at_active=False``)
+  to run the ablation A2, which demonstrates that purging is essential for the
+  linear message complexity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.activation import ActivationSchedule, AdaptiveActivation
+from repro.core.messages import HopMessage
+from repro.network.node import NodeProgram
+
+__all__ = ["NodeState", "ElectionStatus", "AbeElectionProgram"]
+
+#: The single outgoing port of a node in a unidirectional ring.
+RING_PORT = 0
+
+
+class NodeState(enum.Enum):
+    """States of the election algorithm's per-node state machine."""
+
+    IDLE = "idle"
+    ACTIVE = "active"
+    PASSIVE = "passive"
+    LEADER = "leader"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class ElectionStatus:
+    """Shared, observable status of one election run.
+
+    A single instance is shared by all programs of a run (the runner injects
+    it); the program that becomes leader fills it in, which gives the runner
+    an O(1) termination check and the experiments a single place to read the
+    outcome from.
+    """
+
+    leader_uid: Optional[int] = None
+    election_time: Optional[float] = None
+    leaders_elected: int = 0
+    activations: int = 0
+    knockouts: int = 0
+    hop_overflows: int = 0
+    ticks: int = 0
+
+    @property
+    def decided(self) -> bool:
+        """Whether some node has declared itself leader."""
+        return self.leader_uid is not None
+
+
+class AbeElectionProgram(NodeProgram):
+    """Per-node program implementing the Section 3 election algorithm.
+
+    Parameters
+    ----------
+    status:
+        The shared :class:`ElectionStatus` of the run.
+    schedule:
+        Activation schedule; defaults to the paper's adaptive schedule with
+        ``a0 = 0.3``.
+    tick_period:
+        Local-clock period between activation attempts (1 local time unit by
+        default, matching "at every clock tick").
+    purge_at_active:
+        Paper behaviour (``True``); ``False`` forwards messages at active
+        nodes instead (ablation A2).
+    stop_network_on_election:
+        Whether to request a simulation stop the moment this node becomes
+        leader (the runner's default).  Disable to let residual messages drain
+        and observe the post-election quiescence.
+    """
+
+    def __init__(
+        self,
+        status: ElectionStatus,
+        schedule: Optional[ActivationSchedule] = None,
+        tick_period: float = 1.0,
+        purge_at_active: bool = True,
+        stop_network_on_election: bool = True,
+    ) -> None:
+        super().__init__()
+        if tick_period <= 0:
+            raise ValueError("tick_period must be positive")
+        self.status = status
+        self.schedule = schedule if schedule is not None else AdaptiveActivation(0.3)
+        self.tick_period = float(tick_period)
+        self.purge_at_active = purge_at_active
+        self.stop_network_on_election = stop_network_on_election
+        self.state = NodeState.IDLE
+        self.d = 1
+        self.messages_received = 0
+        self.messages_forwarded = 0
+        self.times_activated = 0
+        self.times_knocked_out = 0
+
+    # ------------------------------------------------------------------ start
+
+    def on_start(self) -> None:
+        """Initialise the node (idle, ``d = 1``) and start the local clock ticks."""
+        ring_size = self.n
+        if ring_size is None:
+            raise RuntimeError(
+                "the ABE election algorithm requires the ring size n to be known; "
+                "configure the network with size_known=True"
+            )
+        if self.out_degree != 1:
+            raise RuntimeError(
+                "the ABE election algorithm runs on unidirectional rings "
+                f"(expected exactly 1 outgoing port, found {self.out_degree})"
+            )
+        self.state = NodeState.IDLE
+        self.d = 1
+        self.trace("state", state=str(self.state), d=self.d)
+        self.start_ticks(self._on_tick, local_period=self.tick_period)
+
+    # ------------------------------------------------------------------- tick
+
+    def _on_tick(self, tick_index: int) -> Optional[bool]:
+        """One local clock tick: an idle node may spontaneously activate."""
+        self.status.ticks += 1
+        self.metrics.increment("ticks")
+        if self.state is NodeState.PASSIVE or self.state is NodeState.LEADER:
+            # Passive and leader are absorbing for the tick rule; stop ticking
+            # to keep the event queue small.  (Active nodes keep ticking
+            # because a knock-out returns them to idle.)
+            return False
+        if self.state is not NodeState.IDLE:
+            return None
+        probability = self.schedule.probability(self.d)
+        if self.rng.random() < probability:
+            self._activate()
+        return None
+
+    def _activate(self) -> None:
+        """Idle -> active transition: send ``<1>`` to the successor."""
+        self.state = NodeState.ACTIVE
+        self.times_activated += 1
+        self.status.activations += 1
+        self.metrics.increment("activations")
+        self.trace("state", state=str(self.state), d=self.d)
+        self.send(RING_PORT, HopMessage(hop=1))
+
+    # ---------------------------------------------------------------- receive
+
+    def on_receive(self, payload: HopMessage, port: int) -> None:
+        """Handle an incoming ``<hop>`` message according to the current state."""
+        if not isinstance(payload, HopMessage):
+            raise TypeError(
+                f"ABE election nodes only understand HopMessage, got {payload!r}"
+            )
+        self.messages_received += 1
+        self.d = max(self.d, payload.hop)
+
+        if self.state is NodeState.IDLE:
+            self._receive_while_idle(payload)
+        elif self.state is NodeState.PASSIVE:
+            self._receive_while_passive(payload)
+        elif self.state is NodeState.ACTIVE:
+            self._receive_while_active(payload)
+        else:  # LEADER
+            self._receive_while_leader(payload)
+
+    def _forward(self, payload: HopMessage, knocked_out_idle: bool) -> None:
+        new_hop = self.d + 1
+        ring_size = self.n or 0
+        if ring_size and new_hop > ring_size:
+            # Reachable configurations never produce hop counters above n (the
+            # hop domain is {1, ..., n}); count any occurrence so the
+            # verification layer can flag it instead of silently mutating
+            # behaviour.
+            self.status.hop_overflows += 1
+            self.metrics.increment("hop_overflows")
+        forwarded = payload.forwarded(new_hop, knocked_out_idle)
+        self.messages_forwarded += 1
+        if knocked_out_idle:
+            self.status.knockouts += 1
+            self.metrics.increment("knockout_messages")
+        self.send(RING_PORT, forwarded)
+
+    def _receive_while_idle(self, payload: HopMessage) -> None:
+        """Rule (i): become passive and forward ``<d + 1>``."""
+        self.state = NodeState.PASSIVE
+        self.times_knocked_out += 1
+        self.trace("state", state=str(self.state), d=self.d, hop=payload.hop)
+        self.stop_ticks()
+        self._forward(payload, knocked_out_idle=True)
+
+    def _receive_while_passive(self, payload: HopMessage) -> None:
+        """Rule (ii): forward ``<d + 1>``."""
+        self._forward(payload, knocked_out_idle=False)
+
+    def _receive_while_active(self, payload: HopMessage) -> None:
+        """Rule (iii): become leader on ``hop = n``, otherwise fall back to idle."""
+        ring_size = self.n
+        if ring_size is not None and payload.hop == ring_size:
+            self._become_leader(payload)
+            return
+        if self.purge_at_active:
+            self.state = NodeState.IDLE
+            self.trace("state", state=str(self.state), d=self.d, hop=payload.hop)
+            # The message is purged: nothing is forwarded.
+            return
+        # Ablation A2: no purging -- the active node still falls back to idle
+        # but forwards the message as if it were passive, so tokens are never
+        # removed from the ring.
+        self.state = NodeState.IDLE
+        self.trace("state", state=str(self.state), d=self.d, hop=payload.hop)
+        self._forward(payload, knocked_out_idle=False)
+
+    def _receive_while_leader(self, payload: HopMessage) -> None:
+        """Leaders purge residual messages so the ring drains after the election."""
+        self.trace("purge", hop=payload.hop)
+
+    def _become_leader(self, payload: HopMessage) -> None:
+        node = self._require_node()
+        self.state = NodeState.LEADER
+        self.stop_ticks()
+        self.status.leader_uid = node.uid
+        self.status.election_time = self.now
+        self.status.leaders_elected += 1
+        self.metrics.increment("leaders_elected")
+        self.metrics.mark("leader_elected", self.now)
+        self.trace("decide", state=str(self.state), hop=payload.hop)
+        if self.stop_network_on_election:
+            node.network.request_stop()
+
+    # ----------------------------------------------------------------- result
+
+    def result(self) -> NodeState:
+        """The node's final state."""
+        return self.state
+
+    @property
+    def is_leader(self) -> bool:
+        """Whether this node ended up as the leader."""
+        return self.state is NodeState.LEADER

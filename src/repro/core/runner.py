@@ -1,0 +1,256 @@
+"""High-level API for running ABE ring elections.
+
+:func:`run_election` is the main entry point of the library: it builds an
+anonymous unidirectional ABE ring of size ``n``, validates the configuration
+against the :class:`~repro.models.abe.ABEModel`, runs the Section 3 election
+algorithm and returns an :class:`ElectionResult` with everything the
+experiments need (leader, message counts, elapsed time, activations,
+knockouts, termination flag).
+
+For finer control -- custom topologies, pre-built networks, ablation switches
+-- use :func:`run_election_on_network` or assemble the pieces from
+:mod:`repro.core.election` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.core.activation import ActivationSchedule, AdaptiveActivation
+from repro.core.election import AbeElectionProgram, ElectionStatus, NodeState
+from repro.models.abe import ABEModel
+from repro.network.adversary import AdversarialDelay
+from repro.network.delays import DelayDistribution, ExponentialDelay
+from repro.network.network import Network, NetworkConfig
+from repro.network.topology import unidirectional_ring
+from repro.sim.clock import ClockDriftModel
+
+__all__ = ["ElectionResult", "run_election", "run_election_on_network"]
+
+DelayModel = Union[DelayDistribution, AdversarialDelay]
+
+
+@dataclass
+class ElectionResult:
+    """Outcome and cost metrics of one election run.
+
+    Attributes
+    ----------
+    n:
+        Ring size.
+    elected:
+        Whether a leader was elected before the run hit its safety limits.
+    leader_uid:
+        Simulation uid of the elected node (``None`` if not elected).  The uid
+        is bookkeeping only -- the algorithm itself is anonymous.
+    election_time:
+        Simulated real time at which the leader decided (``None`` if not
+        elected).
+    messages_total:
+        Messages sent up to the moment the run stopped.
+    knockout_messages:
+        Number of idle-node knock-outs (each forwarded knockout message is
+        counted once per knocked-out node, following the paper's notion).
+    activations:
+        Number of idle -> active transitions across all nodes.
+    ticks:
+        Total local clock ticks consumed.
+    hop_overflows:
+        Occurrences of a forwarded hop counter exceeding ``n`` (expected 0;
+        non-zero values indicate a violated invariant and are surfaced by the
+        verification layer).
+    events_processed:
+        Discrete events executed by the simulator.
+    seed:
+        Master seed of the run.
+    a0:
+        Base activation parameter used.
+    leaders_elected:
+        How many nodes declared themselves leader (must be 1 for a safe run
+        with the paper's purging rule).
+    """
+
+    n: int
+    elected: bool
+    leader_uid: Optional[int]
+    election_time: Optional[float]
+    messages_total: int
+    knockout_messages: int
+    activations: int
+    ticks: int
+    hop_overflows: int
+    events_processed: int
+    seed: int
+    a0: float
+    leaders_elected: int
+
+    @property
+    def messages_per_node(self) -> float:
+        """Messages divided by ring size -- the per-node message cost."""
+        return self.messages_total / self.n if self.n else 0.0
+
+    @property
+    def time_per_node(self) -> Optional[float]:
+        """Election time divided by ring size (``None`` if not elected)."""
+        if self.election_time is None or self.n == 0:
+            return None
+        return self.election_time / self.n
+
+
+def _default_max_events(n: int) -> int:
+    # Generous: linear expected cost, so this cap is orders of magnitude above
+    # the typical event count and only guards against pathological seeds.
+    return 500_000 + 50_000 * n
+
+
+def build_election_network(
+    n: int,
+    *,
+    a0: float = 0.3,
+    delay: Optional[DelayModel] = None,
+    seed: int = 0,
+    schedule: Optional[ActivationSchedule] = None,
+    clock_bounds: tuple = (1.0, 1.0),
+    clock_drift_factory: Optional[Callable[[int], ClockDriftModel]] = None,
+    processing_delay: Optional[DelayDistribution] = None,
+    fifo: bool = False,
+    purge_at_active: bool = True,
+    tick_period: float = 1.0,
+    enable_trace: bool = False,
+    validate_model: bool = True,
+    expected_delay_bound: Optional[float] = None,
+) -> tuple:
+    """Construct the ring network and shared status for one election run.
+
+    Returns ``(network, status)``.  Exposed separately from
+    :func:`run_election` so tests and examples can inspect or instrument the
+    network before running it.
+    """
+    if n < 2:
+        raise ValueError(f"the election algorithm needs a ring of size n >= 2, got {n}")
+    delay_model: DelayModel = delay if delay is not None else ExponentialDelay(mean=1.0)
+    schedule = schedule if schedule is not None else AdaptiveActivation(a0)
+    status = ElectionStatus()
+
+    config = NetworkConfig(
+        topology=unidirectional_ring(n),
+        delay_model=delay_model,
+        seed=seed,
+        fifo=fifo,
+        processing_delay=processing_delay,
+        clock_bounds=clock_bounds,
+        clock_drift_factory=clock_drift_factory,
+        size_known=True,
+        enable_trace=enable_trace,
+    )
+
+    if validate_model:
+        delta = expected_delay_bound
+        if delta is None:
+            mean = delay_model.mean()
+            delta = mean if mean > 0 else 1.0
+        gamma = processing_delay.mean() if processing_delay is not None else 0.0
+        model = ABEModel(
+            expected_delay_bound=delta,
+            s_low=clock_bounds[0],
+            s_high=clock_bounds[1],
+            expected_processing_bound=gamma,
+        )
+        model.validate_config(config)
+
+    def program_factory(uid: int) -> AbeElectionProgram:
+        return AbeElectionProgram(
+            status=status,
+            schedule=schedule,
+            tick_period=tick_period,
+            purge_at_active=purge_at_active,
+        )
+
+    network = Network(config, program_factory)
+    return network, status
+
+
+def run_election_on_network(
+    network: Network,
+    status: ElectionStatus,
+    *,
+    max_events: Optional[int] = None,
+    max_time: Optional[float] = None,
+    a0: float = 0.3,
+) -> ElectionResult:
+    """Run an already-built election network to completion (or to its limits)."""
+    if max_events is None:
+        max_events = _default_max_events(network.n)
+    network.stop_when(lambda: status.decided)
+    network.run(until=max_time, max_events=max_events)
+    return ElectionResult(
+        n=network.n,
+        elected=status.decided,
+        leader_uid=status.leader_uid,
+        election_time=status.election_time,
+        messages_total=network.messages_sent(),
+        knockout_messages=status.knockouts,
+        activations=status.activations,
+        ticks=status.ticks,
+        hop_overflows=status.hop_overflows,
+        events_processed=network.simulator.events_processed,
+        seed=network.config.seed,
+        a0=a0,
+        leaders_elected=status.leaders_elected,
+    )
+
+
+def run_election(
+    n: int,
+    *,
+    a0: float = 0.3,
+    delay: Optional[DelayModel] = None,
+    seed: int = 0,
+    schedule: Optional[ActivationSchedule] = None,
+    clock_bounds: tuple = (1.0, 1.0),
+    clock_drift_factory: Optional[Callable[[int], ClockDriftModel]] = None,
+    processing_delay: Optional[DelayDistribution] = None,
+    fifo: bool = False,
+    purge_at_active: bool = True,
+    tick_period: float = 1.0,
+    enable_trace: bool = False,
+    validate_model: bool = True,
+    expected_delay_bound: Optional[float] = None,
+    max_events: Optional[int] = None,
+    max_time: Optional[float] = None,
+) -> ElectionResult:
+    """Elect a leader on an anonymous unidirectional ABE ring of size ``n``.
+
+    Parameters mirror the paper's knobs: the base activation parameter ``a0``,
+    the per-channel delay model (default: exponential with mean 1, the
+    canonical ABE channel), the clock-rate bounds, and the expected local
+    processing delay.  See :class:`ElectionResult` for what is measured.
+
+    Examples
+    --------
+    >>> result = run_election(8, a0=0.3, seed=1)
+    >>> result.elected
+    True
+    >>> 0 <= result.leader_uid < 8
+    True
+    """
+    network, status = build_election_network(
+        n,
+        a0=a0,
+        delay=delay,
+        seed=seed,
+        schedule=schedule,
+        clock_bounds=clock_bounds,
+        clock_drift_factory=clock_drift_factory,
+        processing_delay=processing_delay,
+        fifo=fifo,
+        purge_at_active=purge_at_active,
+        tick_period=tick_period,
+        enable_trace=enable_trace,
+        validate_model=validate_model,
+        expected_delay_bound=expected_delay_bound,
+    )
+    return run_election_on_network(
+        network, status, max_events=max_events, max_time=max_time, a0=a0
+    )

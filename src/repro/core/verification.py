@@ -1,0 +1,153 @@
+"""Execution checkers for the election algorithm's correctness obligations.
+
+DESIGN.md lists the invariants; this module checks them against a finished
+run.  The checks are used three ways:
+
+* unit/integration tests call :func:`verify_election` after every simulated
+  run;
+* hypothesis property tests call it for randomly generated configurations;
+* the experiment harness calls it in "audit" mode so that a reported table is
+  backed by verified executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.election import AbeElectionProgram, ElectionStatus, NodeState
+from repro.core.runner import ElectionResult
+from repro.network.network import Network
+
+__all__ = ["ElectionInvariantError", "VerificationReport", "verify_election"]
+
+
+class ElectionInvariantError(AssertionError):
+    """Raised when a finished election run violates a correctness obligation."""
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of checking one run against the invariants."""
+
+    violations: List[str] = field(default_factory=list)
+    checks_performed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether no violation was found."""
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        """Record a violation."""
+        self.violations.append(message)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`ElectionInvariantError` if any violation was recorded."""
+        if self.violations:
+            raise ElectionInvariantError("; ".join(self.violations))
+
+
+def verify_election(
+    network: Network,
+    result: Optional[ElectionResult] = None,
+    *,
+    require_elected: bool = True,
+    strict: bool = True,
+) -> VerificationReport:
+    """Check a finished election run against the safety/liveness obligations.
+
+    Parameters
+    ----------
+    network:
+        The network the election ran on (its programs must be
+        :class:`~repro.core.election.AbeElectionProgram` instances).
+    result:
+        The :class:`~repro.core.runner.ElectionResult`, if available; enables
+        the cross-checks between result fields and node states.
+    require_elected:
+        Whether failing to elect a leader counts as a violation (liveness).
+        Experiments exploring deliberately broken configurations (e.g. the
+        no-purging ablation) set this to ``False``.
+    strict:
+        If ``True``, raise :class:`ElectionInvariantError` on any violation;
+        otherwise return the report and let the caller decide.
+    """
+    report = VerificationReport()
+    programs = [p for p in network.programs() if isinstance(p, AbeElectionProgram)]
+    if not programs:
+        report.add("network contains no AbeElectionProgram nodes")
+        if strict:
+            report.raise_if_failed()
+        return report
+
+    leaders = [p for p in programs if p.state is NodeState.LEADER]
+    report.checks_performed += 1
+    if len(leaders) > 1:
+        report.add(
+            f"safety violated: {len(leaders)} nodes are in the LEADER state "
+            f"(uids {[p.node.uid for p in leaders if p.node]})"
+        )
+
+    report.checks_performed += 1
+    if require_elected and not leaders:
+        report.add("liveness violated: no node reached the LEADER state")
+
+    # Status / result consistency ------------------------------------------------
+    status: Optional[ElectionStatus] = programs[0].status if programs else None
+    if status is not None:
+        report.checks_performed += 1
+        if status.leaders_elected > 1:
+            report.add(
+                f"safety violated: {status.leaders_elected} leader declarations recorded"
+            )
+        report.checks_performed += 1
+        if status.decided and not leaders:
+            report.add("status reports a leader but no node is in the LEADER state")
+        report.checks_performed += 1
+        if status.hop_overflows > 0:
+            report.add(
+                f"hop-counter invariant violated: {status.hop_overflows} forwards "
+                "exceeded the ring size"
+            )
+
+    if result is not None:
+        report.checks_performed += 1
+        if result.elected and leaders and result.leader_uid is not None:
+            leader_uids = {p.node.uid for p in leaders if p.node is not None}
+            if result.leader_uid not in leader_uids:
+                report.add(
+                    f"result.leader_uid={result.leader_uid} does not match the node(s) "
+                    f"in LEADER state {sorted(leader_uids)}"
+                )
+        report.checks_performed += 1
+        if result.leaders_elected > 1:
+            report.add(
+                f"safety violated: result records {result.leaders_elected} leader elections"
+            )
+
+    # Post-election state structure ---------------------------------------------
+    if leaders:
+        report.checks_performed += 1
+        others = [p for p in programs if p not in leaders]
+        bad_states = [
+            p for p in others if p.state not in (NodeState.IDLE, NodeState.PASSIVE)
+        ]
+        if bad_states:
+            report.add(
+                "after the election every non-leader must be idle or passive; found "
+                f"{[str(p.state) for p in bad_states]}"
+            )
+
+    # Message accounting ----------------------------------------------------------
+    report.checks_performed += 1
+    sent = network.messages_sent()
+    delivered = network.messages_delivered()
+    if delivered > sent:
+        report.add(
+            f"message accounting violated: {delivered} deliveries exceed {sent} sends"
+        )
+
+    if strict:
+        report.raise_if_failed()
+    return report

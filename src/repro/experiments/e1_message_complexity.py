@@ -1,0 +1,92 @@
+"""E1 -- average message complexity of the ABE election is linear in ``n``.
+
+Paper claim (Sections 1 and 3): the election algorithm for anonymous,
+unidirectional ABE rings of known size has *average linear message
+complexity*, beating the Omega(n log n) lower bound that holds for
+asynchronous rings (randomisation over an ABE network is what makes this
+possible).
+
+The experiment sweeps the ring size, runs many independent elections per size
+with the recommended activation parameter, and reports the mean message count
+with a confidence interval, the per-node cost, and the best-fitting growth
+order among {n, n log n, n^2}.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.analysis import async_ring_message_lower_bound, recommended_a0
+from repro.experiments.results import ExperimentResult, ResultTable
+from repro.experiments.workloads import DEFAULT_RING_SIZES, DEFAULT_TRIALS, election_trials
+from repro.stats.complexity_fit import best_growth_order
+from repro.stats.confidence import confidence_interval
+
+EXPERIMENT_ID = "e1"
+TITLE = "Average message complexity of the ABE election"
+CLAIM = (
+    "The election algorithm has average linear message complexity on anonymous "
+    "unidirectional ABE rings of known size n."
+)
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_RING_SIZES,
+    trials: int = DEFAULT_TRIALS,
+    base_seed: int = 11,
+) -> ExperimentResult:
+    """Run the message-complexity sweep and return the E1 result."""
+    table = ResultTable(
+        title="E1: messages to elect a leader (mean over trials)",
+        columns=[
+            "n",
+            "a0",
+            "messages_mean",
+            "messages_ci95",
+            "messages_per_node",
+            "nlogn_reference",
+            "all_elected",
+        ],
+    )
+    sizes = list(sizes)
+    means = []
+    for n in sizes:
+        results = election_trials(n, trials, base_seed)
+        elected = [r for r in results if r.elected]
+        message_counts = [float(r.messages_total) for r in elected]
+        interval = confidence_interval(message_counts)
+        means.append(interval.estimate)
+        table.add_row(
+            n=n,
+            a0=recommended_a0(n),
+            messages_mean=interval.estimate,
+            messages_ci95=interval.half_width,
+            messages_per_node=interval.estimate / n,
+            nlogn_reference=async_ring_message_lower_bound(n),
+            all_elected=len(elected) == len(results),
+        )
+    fits = best_growth_order(sizes, means)
+    best_model = next(iter(fits))
+    per_node = [mean / n for mean, n in zip(means, sizes)]
+    table.add_note(
+        f"best-fitting growth order: {best_model} "
+        f"(relative error {fits[best_model].relative_error:.3f})"
+    )
+    findings = {
+        "best_growth_order": best_model,
+        "linear_is_best": best_model == "n",
+        "max_messages_per_node": max(per_node),
+        "min_messages_per_node": min(per_node),
+        "per_node_spread": max(per_node) / min(per_node) if min(per_node) > 0 else float("inf"),
+        "all_runs_elected": all(table.column("all_elected")),
+    }
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        tables=[table],
+        findings=findings,
+        parameters={"sizes": tuple(sizes), "trials": trials, "base_seed": base_seed},
+    )

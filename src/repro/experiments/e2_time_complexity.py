@@ -1,0 +1,90 @@
+"""E2 -- average time complexity of the ABE election is linear in ``n``.
+
+Paper claim (Sections 1 and 3): with the adaptive activation schedule the
+algorithm also has *average linear time complexity* -- the overall wake-up
+pressure stays constant, so only O(1) activation waves are needed and each
+wave costs O(n * delta) simulated time.
+
+Identical sweep to E1 but the measured quantity is the simulated real time at
+which the leader decides.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.analysis import recommended_a0
+from repro.experiments.results import ExperimentResult, ResultTable
+from repro.experiments.workloads import DEFAULT_RING_SIZES, DEFAULT_TRIALS, election_trials
+from repro.stats.complexity_fit import best_growth_order
+from repro.stats.confidence import confidence_interval
+
+EXPERIMENT_ID = "e2"
+TITLE = "Average time complexity of the ABE election"
+CLAIM = (
+    "The election algorithm has average linear time complexity on anonymous "
+    "unidirectional ABE rings of known size n."
+)
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_RING_SIZES,
+    trials: int = DEFAULT_TRIALS,
+    base_seed: int = 22,
+) -> ExperimentResult:
+    """Run the time-complexity sweep and return the E2 result."""
+    table = ResultTable(
+        title="E2: simulated time to elect a leader (mean over trials)",
+        columns=[
+            "n",
+            "a0",
+            "time_mean",
+            "time_ci95",
+            "time_per_node",
+            "activations_mean",
+            "all_elected",
+        ],
+    )
+    sizes = list(sizes)
+    means = []
+    for n in sizes:
+        results = election_trials(n, trials, base_seed)
+        elected = [r for r in results if r.elected]
+        times = [float(r.election_time) for r in elected if r.election_time is not None]
+        activations = [float(r.activations) for r in elected]
+        interval = confidence_interval(times)
+        means.append(interval.estimate)
+        table.add_row(
+            n=n,
+            a0=recommended_a0(n),
+            time_mean=interval.estimate,
+            time_ci95=interval.half_width,
+            time_per_node=interval.estimate / n,
+            activations_mean=sum(activations) / len(activations),
+            all_elected=len(elected) == len(results),
+        )
+    fits = best_growth_order(sizes, means)
+    best_model = next(iter(fits))
+    per_node = [mean / n for mean, n in zip(means, sizes)]
+    table.add_note(
+        f"best-fitting growth order: {best_model} "
+        f"(relative error {fits[best_model].relative_error:.3f})"
+    )
+    findings = {
+        "best_growth_order": best_model,
+        "linear_is_best": best_model == "n",
+        "max_time_per_node": max(per_node),
+        "min_time_per_node": min(per_node),
+        "per_node_spread": max(per_node) / min(per_node) if min(per_node) > 0 else float("inf"),
+        "all_runs_elected": all(table.column("all_elected")),
+    }
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        tables=[table],
+        findings=findings,
+        parameters={"sizes": tuple(sizes), "trials": trials, "base_seed": base_seed},
+    )

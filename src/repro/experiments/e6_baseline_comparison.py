@@ -1,0 +1,146 @@
+"""E6 -- comparison with classical ring-election baselines.
+
+Section 1 positions the ABE election against two reference points:
+
+* the Omega(n log n) lower bound on message complexity for leader election in
+  asynchronous rings, and
+* "the most optimal leader election algorithms known for anonymous,
+  synchronous rings" (Itai-Rodeh), to which the ABE algorithm's efficiency is
+  said to be comparable.
+
+The experiment runs the ABE election and four baselines (Itai-Rodeh,
+Chang-Roberts, Dolev-Klawe-Rodeh, Franklin) on rings of increasing size with
+identical ABE (exponential, mean 1) channel delays, reports the mean message
+counts, and fits growth orders: the ABE election should fit ``n`` best while
+the identifier-based baselines grow like ``n log n``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.algorithms.leader_election import (
+    run_chang_roberts,
+    run_dolev_klawe_rodeh,
+    run_franklin,
+    run_itai_rodeh,
+)
+from repro.core.analysis import async_ring_message_lower_bound
+from repro.experiments.results import ExperimentResult, ResultTable
+from repro.experiments.runner import monte_carlo
+from repro.experiments.workloads import election_trials
+from repro.network.delays import ExponentialDelay
+from repro.stats.complexity_fit import best_growth_order
+from repro.stats.confidence import confidence_interval
+
+EXPERIMENT_ID = "e6"
+TITLE = "Message complexity: ABE election vs classical baselines"
+CLAIM = (
+    "The ABE election's average message complexity is linear, comparable to "
+    "the best anonymous-ring algorithms and below the n log n growth of the "
+    "classical identifier-based elections."
+)
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
+DEFAULT_SIZES: Sequence[int] = (8, 16, 32, 64)
+
+
+def _baseline_runners() -> Dict[str, Callable]:
+    return {
+        "itai-rodeh": run_itai_rodeh,
+        "chang-roberts": run_chang_roberts,
+        "dolev-klawe-rodeh": run_dolev_klawe_rodeh,
+        "franklin": run_franklin,
+    }
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    trials: int = 15,
+    base_seed: int = 66,
+) -> ExperimentResult:
+    """Run the baseline comparison and return the E6 result."""
+    sizes = list(sizes)
+    table = ResultTable(
+        title="E6: mean messages to elect a leader, by algorithm and ring size",
+        columns=["algorithm", "n", "messages_mean", "messages_ci95", "messages_per_node"],
+    )
+    per_algorithm_means: Dict[str, List[float]] = {}
+
+    # The paper's algorithm.
+    abe_means = []
+    for n in sizes:
+        results = election_trials(n, trials, base_seed, label=f"abe-n{n}")
+        elected = [float(r.messages_total) for r in results if r.elected]
+        interval = confidence_interval(elected)
+        abe_means.append(interval.estimate)
+        table.add_row(
+            algorithm="abe-election",
+            n=n,
+            messages_mean=interval.estimate,
+            messages_ci95=interval.half_width,
+            messages_per_node=interval.estimate / n,
+        )
+    per_algorithm_means["abe-election"] = abe_means
+
+    # The baselines.
+    delay = ExponentialDelay(mean=1.0)
+    for name, runner in _baseline_runners().items():
+        means = []
+        for n in sizes:
+            outcomes = monte_carlo(
+                lambda seed: runner(n, delay=delay, seed=seed),
+                trials=trials,
+                base_seed=base_seed,
+                label=f"{name}-n{n}",
+            )
+            message_counts = [float(o.messages_total) for o in outcomes if o.elected]
+            interval = confidence_interval(message_counts)
+            means.append(interval.estimate)
+            table.add_row(
+                algorithm=name,
+                n=n,
+                messages_mean=interval.estimate,
+                messages_ci95=interval.half_width,
+                messages_per_node=interval.estimate / n,
+            )
+        per_algorithm_means[name] = means
+
+    reference = ResultTable(
+        title="E6 (reference): growth-order fits and the n log n lower-bound curve",
+        columns=["algorithm", "best_fit", "relative_error", "nlogn_at_max_n"],
+    )
+    fits_by_algorithm = {}
+    for name, means in per_algorithm_means.items():
+        fits = best_growth_order(sizes, means)
+        best = next(iter(fits))
+        fits_by_algorithm[name] = best
+        reference.add_row(
+            algorithm=name,
+            best_fit=best,
+            relative_error=fits[best].relative_error,
+            nlogn_at_max_n=async_ring_message_lower_bound(max(sizes)),
+        )
+
+    abe_at_max = per_algorithm_means["abe-election"][-1]
+    baseline_at_max = {
+        name: means[-1] for name, means in per_algorithm_means.items() if name != "abe-election"
+    }
+    findings = {
+        "abe_best_fit": fits_by_algorithm["abe-election"],
+        "abe_fits_linear": fits_by_algorithm["abe-election"] == "n",
+        "abe_cheapest_at_max_n": abe_at_max <= min(baseline_at_max.values()),
+        "baselines_superlinear": all(
+            fits_by_algorithm[name] in ("n log n", "n^2")
+            for name in baseline_at_max
+        ),
+    }
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        tables=[table, reference],
+        findings=findings,
+        parameters={"sizes": tuple(sizes), "trials": trials, "base_seed": base_seed},
+    )

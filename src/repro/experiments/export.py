@@ -1,0 +1,78 @@
+"""Export experiment results to Markdown and CSV.
+
+EXPERIMENTS.md is generated from the same :class:`~repro.experiments.results.ResultTable`
+objects the benchmarks print, via :func:`table_to_markdown` /
+:func:`experiment_to_markdown`; :func:`table_to_csv` exists for users who want
+to post-process the raw numbers elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable
+
+from repro.experiments.reporting import format_cell
+from repro.experiments.results import ExperimentResult, ResultTable
+
+__all__ = [
+    "table_to_markdown",
+    "table_to_csv",
+    "experiment_to_markdown",
+    "experiments_to_markdown",
+]
+
+
+def table_to_markdown(table: ResultTable) -> str:
+    """Render a :class:`ResultTable` as a GitHub-flavoured Markdown table."""
+    header = "| " + " | ".join(table.columns) + " |"
+    separator = "| " + " | ".join("---" for _ in table.columns) + " |"
+    lines = [f"**{table.title}**", "", header, separator]
+    for row in table.rows:
+        cells = [format_cell(row.get(column)) for column in table.columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    for note in table.notes:
+        lines.append("")
+        lines.append(f"*Note: {note}*")
+    return "\n".join(lines)
+
+
+def table_to_csv(table: ResultTable) -> str:
+    """Render a :class:`ResultTable` as CSV text (header + one line per row)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow([row.get(column, "") for column in table.columns])
+    return buffer.getvalue()
+
+
+def experiment_to_markdown(result: ExperimentResult) -> str:
+    """Render one :class:`ExperimentResult` as a Markdown section."""
+    lines = [
+        f"### {result.experiment_id.upper()} -- {result.title}",
+        "",
+        f"*Claim:* {result.claim}",
+        "",
+    ]
+    for table in result.tables:
+        lines.append(table_to_markdown(table))
+        lines.append("")
+    if result.findings:
+        lines.append("**Findings**")
+        lines.append("")
+        for key in sorted(result.findings):
+            lines.append(f"- `{key}`: {format_cell(result.findings[key])}")
+        lines.append("")
+    if result.parameters:
+        parameters = ", ".join(
+            f"{key}={format_cell(value)}" for key, value in sorted(result.parameters.items())
+        )
+        lines.append(f"*Parameters:* {parameters}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def experiments_to_markdown(results: Iterable[ExperimentResult]) -> str:
+    """Render several experiments as one Markdown document body."""
+    return "\n".join(experiment_to_markdown(result) for result in results)

@@ -1,0 +1,66 @@
+"""Monte-Carlo trial orchestration.
+
+Experiments repeat a stochastic simulation many times with independent,
+reproducibly derived seeds and aggregate the results.  The helpers here keep
+the seed discipline in one place: trial ``i`` of an experiment with base seed
+``s`` always uses ``derive_seed(s, f"trial{i}")``, so adding trials never
+perturbs existing ones and two experiments with different base seeds never
+share randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.sim.rng import derive_seed
+
+__all__ = ["trial_seeds", "monte_carlo", "mean_of_attribute"]
+
+T = TypeVar("T")
+
+
+def trial_seeds(base_seed: int, trials: int, label: str = "") -> List[int]:
+    """Derive ``trials`` independent seeds from ``base_seed``.
+
+    ``label`` lets one experiment derive several independent seed families
+    (e.g. one per parameter value) from the same base seed.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    prefix = f"{label}/trial" if label else "trial"
+    return [derive_seed(base_seed, f"{prefix}{index}") for index in range(trials)]
+
+
+def monte_carlo(
+    run_one: Callable[[int], T],
+    trials: int,
+    base_seed: int = 0,
+    label: str = "",
+    keep: Optional[Callable[[T], bool]] = None,
+) -> List[T]:
+    """Run ``run_one(seed)`` for ``trials`` derived seeds and collect results.
+
+    Parameters
+    ----------
+    run_one:
+        Callable executing one trial for a given seed.
+    keep:
+        Optional filter; results for which it returns ``False`` are dropped
+        (used e.g. to exclude non-terminating ablation runs from means while
+        still counting them separately).
+    """
+    results: List[T] = []
+    for seed in trial_seeds(base_seed, trials, label):
+        outcome = run_one(seed)
+        if keep is None or keep(outcome):
+            results.append(outcome)
+    return results
+
+
+def mean_of_attribute(results: Sequence[Any], attribute: str) -> float:
+    """Mean of ``getattr(result, attribute)`` over non-``None`` values."""
+    values = [getattr(result, attribute) for result in results]
+    values = [value for value in values if value is not None]
+    if not values:
+        raise ValueError(f"no values for attribute {attribute!r}")
+    return sum(values) / len(values)

@@ -1,0 +1,110 @@
+"""Shared workload definitions for the experiments.
+
+Keeping the workload catalogue in one module guarantees that E1/E2/E6/E7 all
+mean the same thing by "the default ABE ring" and that the delay families of
+the robustness experiment really have identical expected delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.analysis import recommended_a0
+from repro.core.runner import ElectionResult, run_election
+from repro.experiments.runner import monte_carlo
+from repro.network.delays import (
+    ConstantDelay,
+    DelayDistribution,
+    ExponentialDelay,
+    LogNormalDelay,
+    ParetoDelay,
+    UniformDelay,
+)
+from repro.network.queueing import MM1SojournDelay
+from repro.network.retransmission import GeometricRetransmissionDelay
+from repro.network.routing import DynamicRoutingDelay
+
+__all__ = [
+    "DEFAULT_RING_SIZES",
+    "DEFAULT_TRIALS",
+    "default_delay",
+    "delay_families_with_mean",
+    "election_trials",
+    "election_sweep",
+]
+
+#: Ring sizes used by the scaling experiments (E1, E2, E6).
+DEFAULT_RING_SIZES: Sequence[int] = (8, 16, 32, 64, 128)
+
+#: Default number of Monte-Carlo trials per configuration.
+DEFAULT_TRIALS: int = 30
+
+
+def default_delay(mean: float = 1.0) -> DelayDistribution:
+    """The canonical ABE channel: exponential delays with the given mean."""
+    return ExponentialDelay(mean=mean)
+
+
+def delay_families_with_mean(mean: float = 1.0) -> Dict[str, DelayDistribution]:
+    """The delay families of experiment E7, all with expected delay ``mean``.
+
+    Every family is ABE admissible with ``delta = mean``; they differ wildly
+    in shape (constant, bounded, light tail, heavy tail, queueing, routing,
+    retransmission), which is exactly the variation the ABE model abstracts
+    away.
+    """
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    return {
+        "constant": ConstantDelay(mean),
+        "uniform[0.5m,1.5m]": UniformDelay(0.5 * mean, 1.5 * mean),
+        "exponential": ExponentialDelay(mean=mean),
+        "retransmission(p=0.5)": GeometricRetransmissionDelay(
+            success_probability=0.5, transmission_time=mean / 2.0
+        ),
+        "pareto(alpha=3)": ParetoDelay(alpha=3.0, scale=2.0 * mean / 3.0),
+        "lognormal(sigma=1)": LogNormalDelay(mean=mean, sigma=1.0),
+        "mm1(rho=0.5)": MM1SojournDelay(arrival_rate=1.0 / mean, service_rate=2.0 / mean),
+        "routing(2 hops+detours)": DynamicRoutingDelay(
+            base_hops=2, detour_probability=0.2, per_hop_mean=mean / 2.25
+        ),
+    }
+
+
+def election_trials(
+    n: int,
+    trials: int,
+    base_seed: int,
+    *,
+    a0: float = None,
+    delay: DelayDistribution = None,
+    label: str = "",
+    **election_kwargs,
+) -> List[ElectionResult]:
+    """Run ``trials`` independent elections on a ring of size ``n``.
+
+    ``a0`` defaults to :func:`repro.core.analysis.recommended_a0`; ``delay``
+    defaults to the canonical exponential ABE channel.
+    """
+    chosen_a0 = a0 if a0 is not None else recommended_a0(n)
+    chosen_delay = delay if delay is not None else default_delay()
+
+    def run_one(seed: int) -> ElectionResult:
+        return run_election(
+            n, a0=chosen_a0, delay=chosen_delay, seed=seed, **election_kwargs
+        )
+
+    return monte_carlo(run_one, trials=trials, base_seed=base_seed, label=label or f"n{n}")
+
+
+def election_sweep(
+    sizes: Sequence[int],
+    trials: int,
+    base_seed: int,
+    **election_kwargs,
+) -> Dict[int, List[ElectionResult]]:
+    """Run the election at every ring size in ``sizes``; results keyed by size."""
+    return {
+        n: election_trials(n, trials, base_seed, label=f"n{n}", **election_kwargs)
+        for n in sizes
+    }

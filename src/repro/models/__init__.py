@@ -1,0 +1,40 @@
+"""Network-model taxonomy: synchronous, asynchronous, ABD and ABE.
+
+Section 2 of the paper positions the ABE model between the classical models:
+
+====================  ==========================================================
+Model                 Assumption about message delays
+====================  ==========================================================
+Synchronous           all nodes proceed in global rounds; delay = 1 round
+ABD                   a hard bound ``D`` on every delay is known
+**ABE** (this paper)  a bound ``delta`` on the *expected* delay is known
+Asynchronous          every message is eventually delivered; nothing else known
+====================  ==========================================================
+
+Each model class can *validate* a concrete network configuration (delay
+distributions, clock bounds, processing delays) against its assumptions, and
+knows its place in the inclusion hierarchy: every synchronous execution is an
+ABD execution, every ABD network is an ABE network (``delta = D``), and every
+ABE execution is an asynchronous execution ("in a slogan: every execution of
+an asynchronous network is also an execution of an ABE network").
+"""
+
+from repro.models.base import (
+    ModelValidationError,
+    NetworkModel,
+    classify_delay,
+)
+from repro.models.synchronous import SynchronousModel
+from repro.models.asynchronous import AsynchronousModel
+from repro.models.abd import ABDModel
+from repro.models.abe import ABEModel
+
+__all__ = [
+    "NetworkModel",
+    "ModelValidationError",
+    "classify_delay",
+    "SynchronousModel",
+    "AsynchronousModel",
+    "ABDModel",
+    "ABEModel",
+]

@@ -1,0 +1,99 @@
+"""The asynchronous bounded delay (ABD) model.
+
+ABD networks [Chou-Cidon-Gopal-Zaks 1990, Tel 2000] assume a *hard* bound
+``D`` on the message delay: every message arrives within ``D`` time units of
+being sent.  The paper argues this assumption "is often hard to satisfy in
+real-life networks" -- retransmission, queueing and routing all produce delays
+that cannot be bounded -- and proposes ABE as the relaxation that survives
+those effects.
+
+:class:`ABDModel` validates that every channel's delay model has a hard bound
+not exceeding ``D``.  :meth:`ABDModel.as_abe` witnesses the inclusion
+"every ABD network is an ABE network" by returning the ABE model with
+``delta = D``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.models.base import DelayLike, NetworkModel
+
+__all__ = ["ABDModel"]
+
+
+class ABDModel(NetworkModel):
+    """Asynchronous bounded delay: a known hard bound ``D`` on every delay.
+
+    Parameters
+    ----------
+    delay_bound:
+        The known bound ``D`` (must be positive).
+    s_low, s_high:
+        Known bounds on local clock rates (shared with the ABE model).
+    processing_bound:
+        Known bound on the local processing time (``None`` = instantaneous).
+    """
+
+    name = "abd"
+
+    def __init__(
+        self,
+        delay_bound: float,
+        s_low: float = 1.0,
+        s_high: float = 1.0,
+        processing_bound: Optional[float] = None,
+    ) -> None:
+        if delay_bound <= 0:
+            raise ValueError("delay_bound must be positive")
+        if s_low <= 0 or s_high < s_low:
+            raise ValueError("clock bounds must satisfy 0 < s_low <= s_high")
+        if processing_bound is not None and processing_bound < 0:
+            raise ValueError("processing_bound must be non-negative")
+        self.delay_bound = float(delay_bound)
+        self.s_low = float(s_low)
+        self.s_high = float(s_high)
+        self.processing_bound = processing_bound
+
+    def admits_delay(self, delay: DelayLike) -> bool:
+        bound = delay.bound()
+        return bound is not None and bound <= self.delay_bound + 1e-12
+
+    def _rejection_reason(self, delay: DelayLike) -> str:
+        bound = delay.bound()
+        if bound is None:
+            return (
+                "the delay is unbounded; ABD networks require a hard bound "
+                f"D={self.delay_bound} on every message delay"
+            )
+        return f"the delay bound {bound} exceeds the known ABD bound D={self.delay_bound}"
+
+    def admits_clock_bounds(self, s_low: float, s_high: float) -> bool:
+        return 0 < s_low and s_low <= s_high and self.s_low <= s_low and s_high <= self.s_high
+
+    def known_bounds(self) -> Dict[str, float]:
+        bounds = {
+            "delay_bound": self.delay_bound,
+            "s_low": self.s_low,
+            "s_high": self.s_high,
+        }
+        if self.processing_bound is not None:
+            bounds["processing_bound"] = self.processing_bound
+        return bounds
+
+    def as_abe(self) -> "ABEModel":
+        """The ABE model this ABD network trivially satisfies (``delta = D``).
+
+        A hard bound on the delay is in particular a bound on the expected
+        delay, which is the formal content of "every ABD network is an ABE
+        network".
+        """
+        from repro.models.abe import ABEModel
+
+        gamma = self.processing_bound if self.processing_bound is not None else 0.0
+        return ABEModel(
+            expected_delay_bound=self.delay_bound,
+            s_low=self.s_low,
+            s_high=self.s_high,
+            expected_processing_bound=gamma,
+        )

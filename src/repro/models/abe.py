@@ -1,0 +1,120 @@
+"""The asynchronous bounded expected delay (ABE) model -- Definition 1.
+
+The paper's contribution.  An ABE network is an asynchronous network where
+
+1. a bound ``delta`` on the *expected* message delay is known (delays of
+   different messages are stochastically independent);
+2. bounds ``0 < s_low <= s_high`` on the speed of local clocks are known;
+3. a bound ``gamma`` on the expected time to process a local event is known.
+
+In contrast to ABD, individual delays may be arbitrarily large -- "all
+asynchronous executions are possible, but executions with extremely long
+delays are less probable".
+
+:class:`ABEModel` validates configurations against Definition 1 and exposes
+the known bounds ``(delta, gamma, s_low, s_high)`` that algorithms designed
+for ABE networks (such as the election algorithm of Section 3) may use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.models.base import DelayLike, ModelValidationError, NetworkModel
+from repro.network.delays import DelayDistribution
+
+__all__ = ["ABEModel"]
+
+
+class ABEModel(NetworkModel):
+    """Asynchronous bounded expected delay (Definition 1 of the paper).
+
+    Parameters
+    ----------
+    expected_delay_bound:
+        The known bound ``delta`` on the expected message delay.
+    s_low, s_high:
+        Known bounds on local clock rates.
+    expected_processing_bound:
+        The known bound ``gamma`` on the expected local processing time.
+    """
+
+    name = "abe"
+
+    def __init__(
+        self,
+        expected_delay_bound: float,
+        s_low: float = 1.0,
+        s_high: float = 1.0,
+        expected_processing_bound: float = 0.0,
+    ) -> None:
+        if expected_delay_bound <= 0:
+            raise ValueError("expected_delay_bound (delta) must be positive")
+        if s_low <= 0 or s_high < s_low:
+            raise ValueError("clock bounds must satisfy 0 < s_low <= s_high")
+        if expected_processing_bound < 0:
+            raise ValueError("expected_processing_bound (gamma) must be non-negative")
+        self.expected_delay_bound = float(expected_delay_bound)
+        self.s_low = float(s_low)
+        self.s_high = float(s_high)
+        self.expected_processing_bound = float(expected_processing_bound)
+
+    # Convenient aliases matching the paper's notation -------------------------
+
+    @property
+    def delta(self) -> float:
+        """The bound on the expected message delay (Definition 1, item 1)."""
+        return self.expected_delay_bound
+
+    @property
+    def gamma(self) -> float:
+        """The bound on the expected local processing time (item 3)."""
+        return self.expected_processing_bound
+
+    # ------------------------------------------------------------- validation
+
+    def admits_delay(self, delay: DelayLike) -> bool:
+        mean = delay.mean()
+        return math.isfinite(mean) and mean <= self.expected_delay_bound + 1e-12
+
+    def _rejection_reason(self, delay: DelayLike) -> str:
+        mean = delay.mean()
+        if not math.isfinite(mean):
+            return (
+                "the expected delay diverges; ABE networks require a finite known "
+                f"bound delta={self.expected_delay_bound} on the expectation"
+            )
+        return (
+            f"the expected delay {mean} exceeds the known ABE bound "
+            f"delta={self.expected_delay_bound}"
+        )
+
+    def admits_clock_bounds(self, s_low: float, s_high: float) -> bool:
+        return 0 < s_low and s_low <= s_high and self.s_low <= s_low and s_high <= self.s_high
+
+    def validate_processing(self, processing: DelayDistribution) -> None:
+        mean = processing.mean()
+        if not math.isfinite(mean) or mean > self.expected_processing_bound + 1e-12:
+            raise ModelValidationError(
+                f"processing delay {processing!r} has expectation {mean}, which "
+                f"exceeds the known bound gamma={self.expected_processing_bound}"
+            )
+
+    def known_bounds(self) -> Dict[str, float]:
+        return {
+            "expected_delay_bound": self.expected_delay_bound,
+            "expected_processing_bound": self.expected_processing_bound,
+            "s_low": self.s_low,
+            "s_high": self.s_high,
+        }
+
+    # -------------------------------------------------------------- hierarchy
+
+    def contains_abd(self, delay_bound: float) -> bool:
+        """Whether an ABD network with hard bound ``delay_bound`` is admitted.
+
+        True exactly when ``delay_bound <= delta``, since a hard bound is in
+        particular a bound on the expectation.
+        """
+        return delay_bound <= self.expected_delay_bound + 1e-12

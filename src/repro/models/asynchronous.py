@@ -1,0 +1,31 @@
+"""The asynchronous network model.
+
+"The asynchronous network model requires only that every message will
+eventually be delivered."  In simulation terms: any delay model that always
+produces finite delays is admissible; nothing about means or bounds is known,
+so :meth:`known_bounds` is empty and time-complexity statements are
+meaningless in this model (which is the paper's motivation for ABE).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.models.base import DelayLike, NetworkModel
+
+__all__ = ["AsynchronousModel"]
+
+
+class AsynchronousModel(NetworkModel):
+    """Pure asynchrony: eventual delivery, no quantitative knowledge."""
+
+    name = "asynchronous"
+
+    def admits_delay(self, delay: DelayLike) -> bool:
+        # Every delay model in this library produces finite samples with
+        # probability 1 (they are all proper distributions), so everything is
+        # admissible -- including infinite-mean heavy tails.
+        return True
+
+    def known_bounds(self) -> Dict[str, float]:
+        return {}

@@ -1,0 +1,150 @@
+"""Common machinery for the network-model classes.
+
+A :class:`NetworkModel` encodes *what is known* about a network: admissible
+delay models, admissible clock behaviour, admissible processing delays.  The
+model classes never execute anything themselves -- execution is the job of
+:class:`~repro.network.network.Network` -- they only answer the questions
+"does this configuration satisfy the model's assumptions?" and "which known
+bounds may an algorithm rely on?".
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Any, Dict, Optional, Union
+
+from repro.network.adversary import AdversarialDelay
+from repro.network.delays import DelayDistribution
+from repro.network.network import NetworkConfig
+
+__all__ = ["ModelValidationError", "NetworkModel", "classify_delay"]
+
+DelayLike = Union[DelayDistribution, AdversarialDelay]
+
+
+class ModelValidationError(ValueError):
+    """Raised when a network configuration violates a model's assumptions."""
+
+
+def _delay_mean(delay: DelayLike) -> float:
+    return delay.mean()
+
+
+def _delay_bound(delay: DelayLike) -> Optional[float]:
+    return delay.bound()
+
+
+def classify_delay(delay: DelayLike) -> str:
+    """Classify a delay model into the strongest model class that admits it.
+
+    Returns one of ``"synchronous"``, ``"abd"``, ``"abe"`` or
+    ``"asynchronous"``:
+
+    * a constant delay of exactly one unit could drive a synchronous round
+      structure;
+    * a hard-bounded delay is ABD admissible;
+    * an unbounded delay with finite mean is ABE admissible;
+    * anything else (infinite mean) is only asynchronous.
+    """
+    bound = _delay_bound(delay)
+    mean = _delay_mean(delay)
+    if bound is not None and math.isclose(bound, 1.0) and math.isclose(mean, 1.0):
+        return "synchronous"
+    if bound is not None:
+        return "abd"
+    if math.isfinite(mean):
+        return "abe"
+    return "asynchronous"
+
+
+class NetworkModel(abc.ABC):
+    """Base class for network models.
+
+    Subclasses implement :meth:`admits_delay` and :meth:`known_bounds`, and may
+    refine :meth:`validate_config`.
+    """
+
+    #: Short machine-readable name ("abe", "abd", ...).
+    name: str = "model"
+
+    @abc.abstractmethod
+    def admits_delay(self, delay: DelayLike) -> bool:
+        """Whether the given delay model satisfies this model's assumptions."""
+
+    @abc.abstractmethod
+    def known_bounds(self) -> Dict[str, float]:
+        """The bounds an algorithm designed for this model may rely on."""
+
+    # ------------------------------------------------------------- validation
+
+    def validate_delay(self, delay: DelayLike) -> None:
+        """Raise :class:`ModelValidationError` unless the delay is admissible."""
+        if not self.admits_delay(delay):
+            raise ModelValidationError(
+                f"{delay!r} is not admissible for the {self.name.upper()} model: "
+                f"{self._rejection_reason(delay)}"
+            )
+
+    def _rejection_reason(self, delay: DelayLike) -> str:
+        return "assumption violated"
+
+    def admits_clock_bounds(self, s_low: float, s_high: float) -> bool:
+        """Whether the clock-rate bounds are acceptable for this model.
+
+        All models require ``0 < s_low <= s_high``; the synchronous model
+        additionally requires perfect clocks.
+        """
+        return 0 < s_low <= s_high
+
+    def validate_config(self, config: NetworkConfig) -> None:
+        """Validate a full :class:`~repro.network.network.NetworkConfig`.
+
+        Checks every channel's delay model (resolving factories) and the clock
+        bounds.  Raises :class:`ModelValidationError` on the first violation.
+        """
+        s_low, s_high = config.clock_bounds
+        if not self.admits_clock_bounds(s_low, s_high):
+            raise ModelValidationError(
+                f"clock bounds ({s_low}, {s_high}) are not admissible for the "
+                f"{self.name.upper()} model"
+            )
+        model = config.delay_model
+        if isinstance(model, (DelayDistribution, AdversarialDelay)):
+            self.validate_delay(model)
+        elif callable(model):
+            for channel_id, (source, destination) in enumerate(config.topology.edges):
+                self.validate_delay(model(channel_id, source, destination))
+        else:  # pragma: no cover - NetworkConfig already restricts types
+            raise ModelValidationError(f"unsupported delay model {model!r}")
+        if config.processing_delay is not None:
+            self.validate_processing(config.processing_delay)
+
+    def validate_processing(self, processing: DelayDistribution) -> None:
+        """Validate the local-processing-delay distribution (``gamma`` bound).
+
+        By default any finite-mean processing delay is accepted; the
+        synchronous model overrides this to require instantaneous processing.
+        """
+        if not math.isfinite(processing.mean()):
+            raise ModelValidationError(
+                f"processing delay {processing!r} has unbounded expectation"
+            )
+
+    # ------------------------------------------------------------- hierarchy
+
+    def admits_model(self, other: "NetworkModel") -> bool:
+        """Whether every network of ``other`` is also a network of this model.
+
+        The inclusion order is synchronous < ABD < ABE < asynchronous (later
+        models make weaker assumptions, so they admit more networks).
+        """
+        order = ["synchronous", "abd", "abe", "asynchronous"]
+        try:
+            return order.index(self.name) >= order.index(other.name)
+        except ValueError:  # pragma: no cover - unknown custom model
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bounds = ", ".join(f"{k}={v:g}" for k, v in sorted(self.known_bounds().items()))
+        return f"{type(self).__name__}({bounds})"

@@ -1,0 +1,58 @@
+"""The synchronous network model.
+
+"In synchronous networks all nodes proceed simultaneously in global rounds."
+The model admits only constant unit delays and perfect clocks; it is the
+strongest (most restrictive) model in the hierarchy and serves as the ground
+truth that synchronizers are checked against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.models.base import DelayLike, NetworkModel
+from repro.network.delays import DelayDistribution
+
+__all__ = ["SynchronousModel"]
+
+
+class SynchronousModel(NetworkModel):
+    """Global-round synchrony: unit delays, perfect clocks, instant processing."""
+
+    name = "synchronous"
+
+    def __init__(self, round_duration: float = 1.0) -> None:
+        if round_duration <= 0:
+            raise ValueError("round_duration must be positive")
+        self.round_duration = float(round_duration)
+
+    def admits_delay(self, delay: DelayLike) -> bool:
+        bound = delay.bound()
+        mean = delay.mean()
+        return (
+            bound is not None
+            and math.isclose(bound, self.round_duration)
+            and math.isclose(mean, self.round_duration)
+        )
+
+    def _rejection_reason(self, delay: DelayLike) -> str:
+        return (
+            f"synchronous networks require every delay to equal the round duration "
+            f"{self.round_duration}"
+        )
+
+    def admits_clock_bounds(self, s_low: float, s_high: float) -> bool:
+        return math.isclose(s_low, s_high) and s_low > 0
+
+    def validate_processing(self, processing: DelayDistribution) -> None:
+        if processing.mean() > 0:
+            from repro.models.base import ModelValidationError
+
+            raise ModelValidationError(
+                "synchronous networks assume processing happens within the round; "
+                f"got processing delay {processing!r}"
+            )
+
+    def known_bounds(self) -> Dict[str, float]:
+        return {"round_duration": self.round_duration}

@@ -1,0 +1,149 @@
+"""Adversarial delay schedulers.
+
+The ABE model constrains the *distribution* of delays, not individual delays;
+an adversary may therefore make any particular message arbitrarily slow as
+long as the expectation bound holds.  The classes here let experiments explore
+worst-case-flavoured behaviour inside (or deliberately outside) a model's
+constraints:
+
+* :class:`MaxDelayAdversary` -- always charges the hard bound of a bounded
+  distribution: the worst admissible ABD behaviour.
+* :class:`TargetedSlowdownAdversary` -- slows down messages touching a victim
+  node by a constant factor while leaving others fast; used to probe how the
+  election algorithm's averages degrade when one link is persistently slow.
+* :class:`AdversarialDelay` -- the strategy interface channels understand.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Optional
+
+from repro.network.delays import DelayDistribution
+
+__all__ = ["AdversarialDelay", "MaxDelayAdversary", "TargetedSlowdownAdversary"]
+
+
+class AdversarialDelay(abc.ABC):
+    """A delay *strategy*: sees message metadata and chooses the delay.
+
+    Unlike :class:`~repro.network.delays.DelayDistribution`, the adversary is
+    given the source, destination, payload and send time of each message, so
+    it can discriminate between messages.  It must still report the mean and
+    bound it guarantees so the model classes can validate it.
+    """
+
+    @abc.abstractmethod
+    def delay_for(
+        self,
+        source: int,
+        destination: int,
+        payload: Any,
+        send_time: float,
+        rng: random.Random,
+    ) -> float:
+        """Choose the delay for one message."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """An upper bound on the expected delay the adversary guarantees."""
+
+    def bound(self) -> Optional[float]:
+        """A hard delay bound, or ``None`` if the adversary may be unbounded."""
+        return None
+
+    def is_bounded(self) -> bool:
+        """Whether :meth:`bound` is not ``None``."""
+        return self.bound() is not None
+
+    def has_finite_mean(self) -> bool:
+        """Whether :meth:`mean` is finite."""
+        import math
+
+        return math.isfinite(self.mean())
+
+
+class MaxDelayAdversary(AdversarialDelay):
+    """Always delay by the hard bound of a bounded base distribution.
+
+    This is the worst behaviour any ABD network with that bound can exhibit
+    and is used to sanity-check ABD synchronizer correctness at the edge of
+    its assumption.
+    """
+
+    def __init__(self, base: DelayDistribution) -> None:
+        bound = base.bound()
+        if bound is None:
+            raise ValueError(
+                "MaxDelayAdversary requires a bounded base distribution "
+                f"(got {base!r})"
+            )
+        self.base = base
+        self._bound = float(bound)
+
+    def delay_for(
+        self,
+        source: int,
+        destination: int,
+        payload: Any,
+        send_time: float,
+        rng: random.Random,
+    ) -> float:
+        return self._bound
+
+    def mean(self) -> float:
+        return self._bound
+
+    def bound(self) -> Optional[float]:
+        return self._bound
+
+    def __repr__(self) -> str:
+        return f"MaxDelayAdversary(bound={self._bound})"
+
+
+class TargetedSlowdownAdversary(AdversarialDelay):
+    """Slow down every message involving a victim node by a constant factor.
+
+    Messages whose source or destination equals ``victim`` get their sampled
+    delay multiplied by ``slowdown``; all other messages use the base
+    distribution unchanged.  The guaranteed expectation bound is therefore
+    ``slowdown * base.mean()`` (a valid, if pessimistic, ABE bound).
+    """
+
+    def __init__(
+        self, base: DelayDistribution, victim: int, slowdown: float = 10.0
+    ) -> None:
+        if slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1")
+        self.base = base
+        self.victim = int(victim)
+        self.slowdown = float(slowdown)
+
+    def delay_for(
+        self,
+        source: int,
+        destination: int,
+        payload: Any,
+        send_time: float,
+        rng: random.Random,
+    ) -> float:
+        delay = self.base.sample(rng)
+        if source == self.victim or destination == self.victim:
+            delay *= self.slowdown
+        return delay
+
+    def mean(self) -> float:
+        return self.slowdown * self.base.mean()
+
+    def bound(self) -> Optional[float]:
+        base_bound = self.base.bound()
+        if base_bound is None:
+            return None
+        return self.slowdown * base_bound
+
+    def __repr__(self) -> str:
+        return (
+            f"TargetedSlowdownAdversary(base={self.base!r}, victim={self.victim}, "
+            f"slowdown={self.slowdown})"
+        )

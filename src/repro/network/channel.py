@@ -1,0 +1,195 @@
+"""Channels: unidirectional links carrying messages with stochastic delays.
+
+A :class:`Channel` connects one sender node to one receiver node.  On
+:meth:`Channel.transmit` it samples a delay from its delay model, wraps the
+payload in an :class:`~repro.network.messages.Envelope` and schedules the
+delivery event.  The base channel delivers messages in sampled order, which
+means messages may overtake each other -- precisely the "order of messages is
+arbitrary between any pair of nodes" assumption of the paper's election
+algorithm (Section 3).  :class:`FifoChannel` instead enforces first-in
+first-out delivery for algorithms that need it (e.g. the synchronizers'
+bookkeeping messages).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.network.delays import DelayDistribution
+from repro.network.messages import Envelope
+from repro.sim.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.adversary import AdversarialDelay
+    from repro.network.network import Network
+    from repro.network.node import Node
+
+__all__ = ["Channel", "FifoChannel"]
+
+
+class Channel:
+    """A unidirectional, non-FIFO channel with stochastic delays.
+
+    Parameters
+    ----------
+    channel_id:
+        Unique id within the network (used for tracing and per-channel stats).
+    source, destination:
+        The endpoint nodes.
+    destination_port:
+        The in-port number under which the destination sees this channel.
+    delay_model:
+        Either a :class:`~repro.network.delays.DelayDistribution` (iid delays)
+        or an :class:`~repro.network.adversary.AdversarialDelay` (delays chosen
+        by a strategy, subject to the model's constraints).
+    rng:
+        Random stream for delay sampling (typically ``source.rng`` -- one
+        stream per channel is derived by the network).
+    """
+
+    def __init__(
+        self,
+        channel_id: int,
+        source: "Node",
+        destination: "Node",
+        destination_port: int,
+        delay_model: Any,
+        rng: random.Random,
+    ) -> None:
+        self.channel_id = channel_id
+        self.source = source
+        self.destination = destination
+        self.destination_port = destination_port
+        self.delay_model = delay_model
+        self.rng = rng
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.total_delay = 0.0
+        self.max_observed_delay = 0.0
+
+    # ------------------------------------------------------------------ sends
+
+    def _sample_delay(self, payload: Any, send_time: float) -> float:
+        from repro.network.adversary import AdversarialDelay  # local import, no cycle
+
+        if isinstance(self.delay_model, AdversarialDelay):
+            delay = self.delay_model.delay_for(
+                source=self.source.uid,
+                destination=self.destination.uid,
+                payload=payload,
+                send_time=send_time,
+                rng=self.rng,
+            )
+        elif isinstance(self.delay_model, DelayDistribution):
+            delay = self.delay_model.sample(self.rng)
+        else:
+            raise TypeError(
+                f"unsupported delay model {type(self.delay_model)!r}; expected a "
+                "DelayDistribution or AdversarialDelay"
+            )
+        if delay < 0:
+            raise ValueError(f"delay model produced a negative delay: {delay}")
+        return delay
+
+    def _delivery_time(self, send_time: float, delay: float) -> float:
+        """Non-FIFO channels deliver exactly ``delay`` after the send."""
+        return send_time + delay
+
+    def transmit(self, payload: Any) -> Envelope:
+        """Send ``payload`` across the channel; returns the in-flight envelope."""
+        network = self.source.network
+        send_time = network.simulator.now
+        delay = self._sample_delay(payload, send_time)
+        deliver_time = self._delivery_time(send_time, delay)
+        envelope = Envelope(
+            payload=payload,
+            source=self.source.uid,
+            destination=self.destination.uid,
+            channel_id=self.channel_id,
+            send_time=send_time,
+            delay=delay,
+            deliver_time=deliver_time,
+        )
+        self.messages_sent += 1
+        network.metrics.increment("messages_sent")
+        network.tracer.record(
+            send_time,
+            "send",
+            self.source.uid,
+            to=self.destination.uid,
+            channel=self.channel_id,
+            payload=payload,
+            delay=delay,
+        )
+        network.simulator.schedule_at(
+            deliver_time,
+            lambda: self._deliver(envelope),
+            kind=EventKind.MESSAGE_DELIVERY,
+            payload=envelope,
+        )
+        return envelope
+
+    def _deliver(self, envelope: Envelope) -> None:
+        network = self.source.network
+        self.messages_delivered += 1
+        actual_delay = network.simulator.now - envelope.send_time
+        self.total_delay += actual_delay
+        self.max_observed_delay = max(self.max_observed_delay, actual_delay)
+        network.metrics.increment("messages_delivered")
+        network.tracer.record(
+            network.simulator.now,
+            "deliver",
+            self.destination.uid,
+            sender=self.source.uid,
+            channel=self.channel_id,
+            payload=envelope.payload,
+            latency=actual_delay,
+        )
+        processing = network.processing_delay
+        if processing is not None:
+            extra = processing.sample(self.rng)
+            network.simulator.schedule(
+                extra,
+                lambda: self.destination.deliver(envelope.payload, self.destination_port),
+                kind=EventKind.PROCESS_STEP,
+            )
+        else:
+            self.destination.deliver(envelope.payload, self.destination_port)
+
+    # ------------------------------------------------------------------ stats
+
+    def mean_observed_delay(self) -> float:
+        """Average latency of messages delivered so far (0 when none)."""
+        if self.messages_delivered == 0:
+            return 0.0
+        return self.total_delay / self.messages_delivered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel(#{self.channel_id} {self.source.uid}->{self.destination.uid}, "
+            f"sent={self.messages_sent})"
+        )
+
+
+class FifoChannel(Channel):
+    """A channel that preserves the sending order of its messages.
+
+    Delivery time is ``max(send_time + sampled_delay, last_delivery_time)``,
+    i.e. a message is never delivered before one sent earlier on the same
+    channel.  The expected-delay bound of the underlying distribution remains
+    an upper bound on each message's *own* sampled delay; reordering
+    suppression can only delay a message further, which the synchronizer
+    correctness arguments account for.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._last_delivery_time: Optional[float] = None
+
+    def _delivery_time(self, send_time: float, delay: float) -> float:
+        candidate = send_time + delay
+        if self._last_delivery_time is not None and candidate < self._last_delivery_time:
+            candidate = self._last_delivery_time
+        self._last_delivery_time = candidate
+        return candidate

@@ -1,0 +1,153 @@
+"""Queueing delays on bandwidth-limited links (Section 1, case i).
+
+The paper's first example of an unbounded delay source is "message queueing
+due to limited network bandwidth and peaks in the network load".  This module
+provides two complementary models:
+
+* :class:`MM1SojournDelay` -- the stationary sojourn-time distribution of an
+  M/M/1 queue (exponential with rate ``mu - lambda``), usable as an ordinary
+  iid :class:`~repro.network.delays.DelayDistribution`.  Its mean
+  ``1 / (mu - lambda)`` is finite whenever the queue is stable
+  (``lambda < mu``), so a loaded-but-stable link is an ABE channel even though
+  no hard delay bound exists.
+* :class:`FifoLinkState` -- a mechanistic FIFO queue: each message's delay is
+  its service time plus the backlog left by earlier messages on the *same*
+  link.  Delays produced this way are not independent (they share the backlog),
+  which makes the class useful for robustness experiments probing how the
+  election algorithm behaves when the iid assumption of Definition 1(1) is
+  only approximately true.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.network.delays import DelayDistribution
+
+__all__ = ["MM1SojournDelay", "FifoLinkState", "mm1_mean_sojourn", "mm1_utilisation"]
+
+
+def mm1_mean_sojourn(arrival_rate: float, service_rate: float) -> float:
+    """Mean sojourn time (waiting + service) of a stable M/M/1 queue."""
+    _validate_rates(arrival_rate, service_rate)
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mm1_utilisation(arrival_rate: float, service_rate: float) -> float:
+    """Utilisation ``rho = lambda / mu`` of the queue."""
+    _validate_rates(arrival_rate, service_rate)
+    return arrival_rate / service_rate
+
+
+def _validate_rates(arrival_rate: float, service_rate: float) -> None:
+    if arrival_rate < 0:
+        raise ValueError("arrival_rate must be non-negative")
+    if service_rate <= 0:
+        raise ValueError("service_rate must be positive")
+    if arrival_rate >= service_rate:
+        raise ValueError(
+            f"queue is unstable: arrival_rate ({arrival_rate}) must be < "
+            f"service_rate ({service_rate})"
+        )
+
+
+class MM1SojournDelay(DelayDistribution):
+    """Stationary sojourn time of an M/M/1 queue, as an iid delay distribution.
+
+    For a stable M/M/1 queue the sojourn time of a message in equilibrium is
+    exponentially distributed with rate ``mu - lambda``; its mean grows without
+    bound as the load approaches capacity, but remains finite for every stable
+    configuration -- the textbook example of "bounded expectation, unbounded
+    support".
+    """
+
+    def __init__(self, arrival_rate: float, service_rate: float) -> None:
+        _validate_rates(arrival_rate, service_rate)
+        self.arrival_rate = float(arrival_rate)
+        self.service_rate = float(service_rate)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(self.service_rate - self.arrival_rate)
+
+    def mean(self) -> float:
+        return mm1_mean_sojourn(self.arrival_rate, self.service_rate)
+
+    def utilisation(self) -> float:
+        """The offered load ``rho``."""
+        return mm1_utilisation(self.arrival_rate, self.service_rate)
+
+    def __repr__(self) -> str:
+        return (
+            f"MM1SojournDelay(lambda={self.arrival_rate}, mu={self.service_rate}, "
+            f"rho={self.utilisation():.3g})"
+        )
+
+
+class FifoLinkState(DelayDistribution):
+    """A mechanistic FIFO link with exponential service times.
+
+    Each call to :meth:`delay_for_arrival` (or :meth:`sample`, which assumes
+    the caller's messages arrive at the times it is invoked) serves messages
+    in order: a message arriving while the link is busy waits behind the
+    backlog.  The *expected* delay of a message is bounded by the stationary
+    M/M/1 sojourn time as long as the offered load is below capacity, so the
+    link is ABE admissible with ``delta = 1 / (mu - lambda_max)`` for any known
+    bound ``lambda_max`` on the arrival rate.
+
+    Notes
+    -----
+    The class is stateful (it remembers the backlog), so a separate instance
+    must be used per simulated link.  When used via :meth:`sample` the arrival
+    times are taken to be equally spaced at the nominal arrival rate, which is
+    a conservative approximation documented for the robustness experiment.
+    """
+
+    def __init__(
+        self,
+        service_rate: float,
+        nominal_arrival_rate: Optional[float] = None,
+    ) -> None:
+        if service_rate <= 0:
+            raise ValueError("service_rate must be positive")
+        if nominal_arrival_rate is not None:
+            _validate_rates(nominal_arrival_rate, service_rate)
+        self.service_rate = float(service_rate)
+        self.nominal_arrival_rate = (
+            float(nominal_arrival_rate) if nominal_arrival_rate is not None else None
+        )
+        self._backlog_clears_at = 0.0
+        self._virtual_clock = 0.0
+        self.messages_served = 0
+
+    def reset(self) -> None:
+        """Forget all backlog (used between trials)."""
+        self._backlog_clears_at = 0.0
+        self._virtual_clock = 0.0
+        self.messages_served = 0
+
+    def delay_for_arrival(self, arrival_time: float, rng: random.Random) -> float:
+        """Delay of a message arriving at ``arrival_time`` given current backlog."""
+        if arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+        service = rng.expovariate(self.service_rate)
+        start = max(arrival_time, self._backlog_clears_at)
+        finish = start + service
+        self._backlog_clears_at = finish
+        self.messages_served += 1
+        return finish - arrival_time
+
+    def sample(self, rng: random.Random) -> float:
+        rate = self.nominal_arrival_rate if self.nominal_arrival_rate else self.service_rate / 2.0
+        self._virtual_clock += 1.0 / rate
+        return self.delay_for_arrival(self._virtual_clock, rng)
+
+    def mean(self) -> float:
+        rate = self.nominal_arrival_rate if self.nominal_arrival_rate else self.service_rate / 2.0
+        return mm1_mean_sojourn(rate, self.service_rate)
+
+    def __repr__(self) -> str:
+        return (
+            f"FifoLinkState(mu={self.service_rate}, "
+            f"nominal_lambda={self.nominal_arrival_rate})"
+        )

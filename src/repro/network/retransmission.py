@@ -1,0 +1,220 @@
+"""Lossy physical channels with retransmission (Section 1, case iii).
+
+The paper's central motivating example for unbounded delays: a message sent
+over a physical channel succeeds with probability ``p`` per transmission.
+Until it succeeds it is retransmitted, so the number of transmissions ``K``
+follows a geometric distribution and cannot be bounded -- with probability
+``(1 - p)^k`` a message needs more than ``k`` transmissions.  Yet the
+*expected* number of transmissions is finite::
+
+    k_avg = sum_{k>=0} (k + 1) (1 - p)^k p = 1 / p
+
+so if a successful transmission takes one time unit the expected delay is
+``1/p`` as well.  This is exactly the kind of channel the ABE model admits and
+the ABD model rejects, and experiment **E4** reproduces the ``1/p`` claim.
+
+Two representations are provided:
+
+* :class:`GeometricRetransmissionDelay` -- the closed-form delay distribution
+  (``K * transmission_time``), used as an ordinary
+  :class:`~repro.network.delays.DelayDistribution` on channels;
+* :class:`LossyChannelModel` -- an explicit attempt-by-attempt model that
+  reports the individual transmission attempts, used by the examples and by
+  the tests that verify the closed form against the mechanistic simulation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.network.delays import DelayDistribution
+
+__all__ = [
+    "expected_transmissions",
+    "expected_delay",
+    "tail_probability",
+    "GeometricRetransmissionDelay",
+    "TransmissionAttempt",
+    "LossyChannelModel",
+]
+
+
+def expected_transmissions(success_probability: float) -> float:
+    """Expected number of transmissions until success: ``1 / p``.
+
+    This is the closed form derived in Section 1 of the paper
+    (``k_avg = sum (k+1)(1-p)^k p``).
+    """
+    _validate_probability(success_probability)
+    return 1.0 / success_probability
+
+
+def expected_delay(success_probability: float, transmission_time: float = 1.0) -> float:
+    """Expected message delay over the lossy channel: ``transmission_time / p``."""
+    _validate_probability(success_probability)
+    if transmission_time <= 0:
+        raise ValueError("transmission_time must be positive")
+    return transmission_time / success_probability
+
+
+def tail_probability(success_probability: float, k: int) -> float:
+    """Probability that a message needs *more than* ``k`` transmissions: ``(1-p)^k``.
+
+    The paper uses this to argue the delay is unbounded: the tail is positive
+    for every ``k``.
+    """
+    _validate_probability(success_probability)
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return (1.0 - success_probability) ** k
+
+
+def _validate_probability(p: float) -> None:
+    if not (0.0 < p <= 1.0):
+        raise ValueError(f"success probability must be in (0, 1], got {p}")
+
+
+class GeometricRetransmissionDelay(DelayDistribution):
+    """Delay of a message over a lossy channel with per-attempt success ``p``.
+
+    The delay equals ``K * transmission_time`` where ``K ~ Geometric(p)``
+    (support ``{1, 2, ...}``).  The distribution is unbounded (not ABD
+    admissible) but has finite mean ``transmission_time / p`` (ABE
+    admissible), which is the paper's flagship example of an ABE channel.
+    """
+
+    def __init__(self, success_probability: float, transmission_time: float = 1.0) -> None:
+        _validate_probability(success_probability)
+        if transmission_time <= 0:
+            raise ValueError("transmission_time must be positive")
+        self.success_probability = float(success_probability)
+        self.transmission_time = float(transmission_time)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.sample_transmissions(rng) * self.transmission_time
+
+    def sample_transmissions(self, rng: random.Random) -> int:
+        """Draw the number of transmissions needed for one message (>= 1)."""
+        p = self.success_probability
+        if p >= 1.0:
+            return 1
+        # Inverse-CDF sampling of a geometric distribution on {1, 2, ...}.
+        u = rng.random()
+        # Guard against u == 0 which would give log(0).
+        u = max(u, 1e-300)
+        return int(math.ceil(math.log(u) / math.log(1.0 - p)))
+
+    def mean(self) -> float:
+        return self.transmission_time / self.success_probability
+
+    def __repr__(self) -> str:
+        return (
+            f"GeometricRetransmissionDelay(p={self.success_probability}, "
+            f"transmission_time={self.transmission_time})"
+        )
+
+
+@dataclass(frozen=True)
+class TransmissionAttempt:
+    """One attempt to push a message across the physical channel."""
+
+    index: int
+    start_time: float
+    end_time: float
+    success: bool
+
+
+class LossyChannelModel:
+    """Mechanistic attempt-by-attempt model of a lossy physical channel.
+
+    Unlike :class:`GeometricRetransmissionDelay`, which samples the total
+    delay in one shot, this class simulates every transmission attempt and
+    records it, so tests and examples can inspect the retransmission process
+    itself (attempt counts, per-attempt outcomes) and verify that the
+    mechanistic model and the closed-form distribution agree.
+
+    Parameters
+    ----------
+    success_probability:
+        Probability that a single transmission attempt is received intact.
+    transmission_time:
+        Real time consumed by one attempt (successful or not).
+    max_attempts:
+        Safety valve for simulations; ``None`` means retry forever (the
+        faithful model).  When the cap is hit the message is reported as
+        delivered at the cap -- a deliberately *unfaithful* fallback that the
+        tests assert is never exercised at reasonable probabilities.
+    """
+
+    def __init__(
+        self,
+        success_probability: float,
+        transmission_time: float = 1.0,
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        _validate_probability(success_probability)
+        if transmission_time <= 0:
+            raise ValueError("transmission_time must be positive")
+        if max_attempts is not None and max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 when given")
+        self.success_probability = float(success_probability)
+        self.transmission_time = float(transmission_time)
+        self.max_attempts = max_attempts
+        self.total_attempts = 0
+        self.total_messages = 0
+
+    def transmit(self, rng: random.Random, start_time: float = 0.0) -> List[TransmissionAttempt]:
+        """Simulate the delivery of one message, returning all attempts made.
+
+        The last attempt in the returned list is always the successful one
+        (or the capped final attempt when ``max_attempts`` intervenes).
+        """
+        attempts: List[TransmissionAttempt] = []
+        index = 0
+        time = start_time
+        while True:
+            success = rng.random() < self.success_probability
+            end = time + self.transmission_time
+            capped = self.max_attempts is not None and index + 1 >= self.max_attempts
+            attempts.append(
+                TransmissionAttempt(
+                    index=index, start_time=time, end_time=end, success=success or capped
+                )
+            )
+            self.total_attempts += 1
+            index += 1
+            time = end
+            if success or capped:
+                break
+        self.total_messages += 1
+        return attempts
+
+    def delivery_delay(self, rng: random.Random) -> float:
+        """Total delay experienced by one message (sum over attempts)."""
+        attempts = self.transmit(rng)
+        return attempts[-1].end_time - attempts[0].start_time
+
+    def observed_mean_attempts(self) -> float:
+        """Empirical mean attempts per message over the model's lifetime."""
+        if self.total_messages == 0:
+            return 0.0
+        return self.total_attempts / self.total_messages
+
+    def theoretical_mean_attempts(self) -> float:
+        """The paper's closed form ``1/p``."""
+        return expected_transmissions(self.success_probability)
+
+    def as_delay_distribution(self) -> GeometricRetransmissionDelay:
+        """The closed-form delay distribution equivalent to this channel."""
+        return GeometricRetransmissionDelay(
+            self.success_probability, self.transmission_time
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LossyChannelModel(p={self.success_probability}, "
+            f"transmission_time={self.transmission_time}, max_attempts={self.max_attempts})"
+        )

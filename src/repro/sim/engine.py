@@ -1,0 +1,231 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` is a minimal but complete event scheduler: a binary heap of
+:class:`~repro.sim.events.Event` objects ordered by ``(time, priority,
+sequence)``.  All higher layers (channels, clocks, synchronizers, the election
+algorithm) are expressed as callbacks scheduled on a single simulator
+instance, so an entire distributed execution is one totally ordered sequence
+of events, reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.events import Event, EventHandle, EventKind, make_event
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduler usage (negative delays, re-running, ...)."""
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock.  Defaults to ``0.0``.
+
+    Notes
+    -----
+    The simulator is intentionally ignorant of networks, nodes and messages;
+    it only knows about timed callbacks.  Determinism is guaranteed because
+
+    * events are ordered by ``(time, priority, sequence)`` where the sequence
+      is assigned in scheduling order, and
+    * the engine itself never consults a random number generator.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, lambda: fired.append("b"))
+    >>> _ = sim.schedule(1.0, lambda: fired.append("a"))
+    >>> sim.run()
+    >>> fired
+    ['a', 'b']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now: float = float(start_time)
+        self._queue: List[Event] = []
+        self._running: bool = False
+        self._stopped: bool = False
+        self._events_processed: int = 0
+        self._events_scheduled: int = 0
+        self._listeners: List[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (excluding cancelled events)."""
+        return self._events_processed
+
+    @property
+    def events_scheduled(self) -> int:
+        """Number of events ever scheduled on this simulator."""
+        return self._events_scheduled
+
+    @property
+    def pending(self) -> int:
+        """Number of events currently in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- scheduling
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        kind: EventKind = EventKind.GENERIC,
+        payload: Optional[Any] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` time units from now.
+
+        Raises
+        ------
+        SimulationError
+            If ``delay`` is negative or not a finite number.
+        """
+        if not (delay == delay) or delay in (float("inf"), float("-inf")):
+            raise SimulationError(f"delay must be finite, got {delay!r}")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(
+            self._now + delay, callback, priority=priority, kind=kind, payload=payload
+        )
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        kind: EventKind = EventKind.GENERIC,
+        payload: Optional[Any] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` precedes the current simulation time.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = make_event(time, callback, priority=priority, kind=kind, payload=payload)
+        heapq.heappush(self._queue, event)
+        self._events_scheduled += 1
+        return EventHandle(event)
+
+    def add_listener(self, listener: Callable[[Event], None]) -> None:
+        """Register a hook invoked (with the event) just before each event fires.
+
+        Listeners are the integration point for :class:`~repro.sim.trace.Tracer`
+        and :class:`~repro.sim.monitor.MetricsCollector`.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[Event], None]) -> None:
+        """Remove a previously registered listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    # ---------------------------------------------------------------- running
+
+    def step(self) -> bool:
+        """Fire the single next live event.
+
+        Returns ``True`` if an event was fired, ``False`` if the queue is
+        empty (cancelled events are silently discarded without counting as a
+        step).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            for listener in self._listeners:
+                listener(event)
+            event.fire()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the simulation until exhaustion, a time horizon, or an event cap.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly after this
+            time; the clock is advanced to ``until``.
+        max_events:
+            If given, stop after firing this many events (useful as a safety
+            net against non-terminating algorithms).
+
+        Returns
+        -------
+        float
+            The simulation time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._queue and not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                if self.step():
+                    fired += 1
+            else:
+                if until is not None and not self._stopped:
+                    # Queue exhausted before the horizon: advance to it anyway so
+                    # that repeated run(until=...) calls behave like a clock.
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` stop after the current event."""
+        self._stopped = True
+
+    def clear(self) -> None:
+        """Drop every pending event.  The clock is not reset."""
+        self._queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.6g}, pending={self.pending}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,160 @@
+"""Event objects used by the discrete-event scheduler.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number is a
+monotonically increasing counter assigned at scheduling time, which gives the
+simulation a total, reproducible order even when many events share the same
+timestamp -- a frequent situation in synchronous-round simulations where all
+nodes act at integer times.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class EventKind(enum.Enum):
+    """Classification of scheduler events, used by tracing and metrics.
+
+    The kind does not influence scheduling order; it exists so that monitors
+    can attribute simulation activity (e.g. "how many message deliveries
+    happened before time t") without inspecting callback internals.
+    """
+
+    GENERIC = "generic"
+    MESSAGE_DELIVERY = "message-delivery"
+    CLOCK_TICK = "clock-tick"
+    TIMER = "timer"
+    PROCESS_STEP = "process-step"
+    CONTROL = "control"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_sequence_counter = itertools.count()
+
+
+def next_sequence() -> int:
+    """Return the next global scheduling sequence number.
+
+    The counter is global (process wide) rather than per simulator: two
+    simulators created in the same process therefore never share handles, and
+    determinism within a single simulator is unaffected because its events
+    still receive strictly increasing numbers in scheduling order.
+    """
+
+    return next(_sequence_counter)
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the callback fires.
+    priority:
+        Secondary ordering key; lower values fire first among events scheduled
+        for the same time.  The default of ``0`` is almost always right --
+        priorities are used by the synchronizers to guarantee that round
+        bookkeeping runs after all deliveries of the round.
+    sequence:
+        Tie breaker assigned at scheduling time; guarantees a total order.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    kind:
+        :class:`EventKind` tag used for tracing.
+    payload:
+        Arbitrary metadata stored alongside the event (e.g. the message being
+        delivered); never interpreted by the engine itself.
+    cancelled:
+        Set via :meth:`EventHandle.cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    kind: EventKind = field(default=EventKind.GENERIC, compare=False)
+    payload: Any = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event has been cancelled."""
+        if not self.cancelled:
+            self.callback()
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    The handle supports cancellation and simple introspection.  Cancellation
+    is *lazy*: the event stays in the heap but is skipped when popped, which
+    keeps cancellation O(1).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time of the underlying event."""
+        return self._event.time
+
+    @property
+    def kind(self) -> EventKind:
+        """The :class:`EventKind` of the underlying event."""
+        return self._event.kind
+
+    @property
+    def payload(self) -> Any:
+        """The payload attached at scheduling time."""
+        return self._event.payload
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the event.
+
+        Returns ``True`` if the event was live and is now cancelled, ``False``
+        if it had already been cancelled.  Cancelling an event that has already
+        fired has no effect (and returns ``True`` the first time for
+        simplicity); callers that care should track firing themselves.
+        """
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"EventHandle(t={self.time:.6g}, kind={self.kind}, {state})"
+
+
+def make_event(
+    time: float,
+    callback: Callable[[], None],
+    *,
+    priority: int = 0,
+    kind: EventKind = EventKind.GENERIC,
+    payload: Optional[Any] = None,
+) -> Event:
+    """Construct an :class:`Event` with a fresh sequence number."""
+
+    return Event(
+        time=time,
+        priority=priority,
+        sequence=next_sequence(),
+        callback=callback,
+        kind=kind,
+        payload=payload,
+    )

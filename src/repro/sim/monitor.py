@@ -1,0 +1,170 @@
+"""Metric collection for simulated executions.
+
+The experiment harness needs to count messages, measure completion times and
+record time series (e.g. number of active nodes over time) without polluting
+algorithm code with bookkeeping.  :class:`MetricsCollector` is a small
+container of named :class:`Counter` and :class:`TimeSeries` objects that
+algorithms and network components write into; experiments read it afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Counter", "TimeSeries", "MetricsCollector"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing named counter."""
+
+    name: str
+    value: float = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the counter.
+
+        Raises
+        ------
+        ValueError
+            If ``amount`` is negative; counters are monotone by contract.
+        """
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative, got {amount}")
+        self.value += amount
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+
+@dataclass
+class TimeSeries:
+    """A sequence of ``(time, value)`` samples recorded during a run."""
+
+    name: str
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample.  Times need not be distinct but must not decrease."""
+        if self.samples and time < self.samples[-1][0]:
+            raise ValueError(
+                f"time series '{self.name}' received out-of-order sample at {time}"
+            )
+        self.samples.append((time, value))
+
+    def times(self) -> List[float]:
+        """All sample times, in order."""
+        return [t for t, _ in self.samples]
+
+    def values(self) -> List[float]:
+        """All sample values, in order."""
+        return [v for _, v in self.samples]
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        """The most recent sample, or ``None`` if empty."""
+        return self.samples[-1] if self.samples else None
+
+    def value_at(self, time: float) -> Optional[float]:
+        """The last recorded value at or before ``time`` (step interpolation)."""
+        best: Optional[float] = None
+        for t, v in self.samples:
+            if t <= time:
+                best = v
+            else:
+                break
+        return best
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class MetricsCollector:
+    """Registry of named counters and time series for one simulated execution."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._series: Dict[str, TimeSeries] = {}
+        self._marks: Dict[str, float] = {}
+
+    # --------------------------------------------------------------- counters
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter called ``name``, creating it at zero if needed."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Shorthand for ``collector.counter(name).increment(amount)``."""
+        self.counter(name).increment(amount)
+
+    def count(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0.0
+
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of all counters as a plain dict."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    # ------------------------------------------------------------ time series
+
+    def series(self, name: str) -> TimeSeries:
+        """Return the time series called ``name``, creating it if needed."""
+        series = self._series.get(name)
+        if series is None:
+            series = TimeSeries(name)
+            self._series[name] = series
+        return series
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Shorthand for ``collector.series(name).record(time, value)``."""
+        self.series(name).record(time, value)
+
+    def all_series(self) -> Dict[str, TimeSeries]:
+        """All time series keyed by name."""
+        return dict(self._series)
+
+    # ----------------------------------------------------------------- marks
+
+    def mark(self, name: str, time: float) -> None:
+        """Record a named instant (e.g. ``"leader-elected"``).
+
+        Re-marking overwrites; use distinct names for repeated milestones.
+        """
+        self._marks[name] = time
+
+    def mark_time(self, name: str) -> Optional[float]:
+        """The time of mark ``name`` or ``None``."""
+        return self._marks.get(name)
+
+    def marks(self) -> Dict[str, float]:
+        """All marks as a plain dict."""
+        return dict(self._marks)
+
+    # ------------------------------------------------------------------ misc
+
+    def merge_counters_from(self, other: "MetricsCollector") -> None:
+        """Add every counter of ``other`` into this collector (used by sweeps)."""
+        for name, value in other.counters().items():
+            self.increment(name, value)
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of counters and marks, convenient for result tables."""
+        summary: Dict[str, float] = {}
+        summary.update(self.counters())
+        for name, time in self._marks.items():
+            summary[f"mark:{name}"] = time
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsCollector(counters={len(self._counters)}, "
+            f"series={len(self._series)}, marks={len(self._marks)})"
+        )

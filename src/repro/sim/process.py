@@ -1,0 +1,140 @@
+"""Periodic and tick-driven processes on top of the event engine.
+
+The ABE election algorithm is clock-driven: "at every clock tick" an idle node
+flips a coin.  :class:`TickProcess` schedules those ticks according to a
+node's :class:`~repro.sim.clock.LocalClock`, translating local tick intervals
+into real-time event delays.  :class:`PeriodicProcess` is the simpler
+real-time-periodic variant used by synchronizers and monitors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.clock import LocalClock
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle, EventKind
+
+__all__ = ["PeriodicProcess", "TickProcess"]
+
+
+class PeriodicProcess:
+    """Invoke a callback every ``period`` units of *real* simulation time.
+
+    The callback receives the invocation count (0-based).  Returning ``False``
+    from the callback stops the process; any other return value continues it.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        period: float,
+        callback: Callable[[int], Optional[bool]],
+        *,
+        start_delay: float = 0.0,
+        kind: EventKind = EventKind.PROCESS_STEP,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if start_delay < 0:
+            raise ValueError("start_delay must be non-negative")
+        self._simulator = simulator
+        self._period = float(period)
+        self._callback = callback
+        self._kind = kind
+        self._count = 0
+        self._stopped = False
+        self._handle: Optional[EventHandle] = None
+        self._handle = simulator.schedule(start_delay, self._fire, kind=kind)
+
+    @property
+    def invocations(self) -> int:
+        """How many times the callback has run."""
+        return self._count
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the process has been stopped (explicitly or by the callback)."""
+        return self._stopped
+
+    def stop(self) -> None:
+        """Stop the process; the pending tick (if any) is cancelled."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        result = self._callback(self._count)
+        self._count += 1
+        if result is False or self._stopped:
+            self._stopped = True
+            return
+        self._handle = self._simulator.schedule(self._period, self._fire, kind=self._kind)
+
+
+class TickProcess:
+    """Clock ticks driven by a (possibly drifting) :class:`LocalClock`.
+
+    Every ``local_period`` units of *local* time the callback fires.  Because
+    the local clock may speed up or slow down within the bounds
+    ``[s_low, s_high]``, consecutive real-time gaps between ticks vary; this is
+    exactly the behaviour Definition 1(2) of the ABE model permits, and the
+    election algorithm must remain correct under it.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        clock: LocalClock,
+        callback: Callable[[int], Optional[bool]],
+        *,
+        local_period: float = 1.0,
+        kind: EventKind = EventKind.CLOCK_TICK,
+    ) -> None:
+        if local_period <= 0:
+            raise ValueError(f"local_period must be positive, got {local_period}")
+        self._simulator = simulator
+        self._clock = clock
+        self._callback = callback
+        self._local_period = float(local_period)
+        self._kind = kind
+        self._count = 0
+        self._stopped = False
+        self._handle: Optional[EventHandle] = None
+        self._schedule_next()
+
+    @property
+    def ticks(self) -> int:
+        """Number of ticks delivered so far."""
+        return self._count
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the process has been stopped."""
+        return self._stopped
+
+    def stop(self) -> None:
+        """Stop ticking; the pending tick (if any) is cancelled."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    def _schedule_next(self) -> None:
+        now = self._simulator.now
+        real_delay = self._clock.real_duration_for_local(now, self._local_period)
+        # Guard against a zero delay caused by floating point rounding: a zero
+        # delay would livelock the simulator at a single instant.
+        real_delay = max(real_delay, 1e-12)
+        self._handle = self._simulator.schedule(real_delay, self._fire, kind=self._kind)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        result = self._callback(self._count)
+        self._count += 1
+        if result is False or self._stopped:
+            self._stopped = True
+            return
+        self._schedule_next()

@@ -1,0 +1,161 @@
+"""Structured execution traces.
+
+A trace is an ordered list of :class:`TraceEvent` records describing what
+happened during a simulated execution: messages sent and delivered, node state
+transitions, elections decided, synchronizer round boundaries.  Traces power
+the execution checkers in :mod:`repro.core.verification` (safety and liveness
+invariants are checked against the trace, not against ad-hoc flags) and the
+human-readable replay in the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single trace record.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the event.
+    category:
+        Coarse classification, e.g. ``"send"``, ``"deliver"``, ``"state"``,
+        ``"decide"``, ``"round"``.
+    subject:
+        The entity the event is about (usually a node identifier).
+    details:
+        Free-form structured payload (message contents, old/new state, ...).
+    """
+
+    time: float
+    category: str
+    subject: Any
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line human readable rendering used by the example scripts."""
+        detail_str = ", ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[t={self.time:10.4f}] {self.category:<8} {self.subject!s:<12} {detail_str}"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records during a run.
+
+    Tracing can be disabled wholesale (``enabled=False``) to keep large
+    Monte-Carlo sweeps cheap, or limited to a maximum number of events to
+    bound memory.
+    """
+
+    def __init__(self, enabled: bool = True, max_events: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self._events: List[TraceEvent] = []
+        self._dropped = 0
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        subject: Any,
+        **details: Any,
+    ) -> None:
+        """Append a trace event (no-op when disabled or full)."""
+        if not self.enabled:
+            return
+        if self.max_events is not None and len(self._events) >= self.max_events:
+            self._dropped += 1
+            return
+        self._events.append(TraceEvent(time=time, category=category, subject=subject, details=details))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All recorded events in chronological (recording) order."""
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Number of events dropped because ``max_events`` was reached."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    # ---------------------------------------------------------------- queries
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        subject: Optional[Any] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Events matching the given category/subject/predicate filters."""
+        result = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if subject is not None and event.subject != subject:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            result.append(event)
+        return result
+
+    def count(self, category: str) -> int:
+        """Number of events with the given category."""
+        return sum(1 for event in self._events if event.category == category)
+
+    def first(self, category: str) -> Optional[TraceEvent]:
+        """The earliest event of the given category, or ``None``."""
+        for event in self._events:
+            if event.category == category:
+                return event
+        return None
+
+    def last(self, category: str) -> Optional[TraceEvent]:
+        """The latest event of the given category, or ``None``."""
+        found: Optional[TraceEvent] = None
+        for event in self._events:
+            if event.category == category:
+                found = event
+        return found
+
+    def subjects(self) -> List[Any]:
+        """Distinct subjects appearing in the trace, in first-appearance order."""
+        seen: List[Any] = []
+        for event in self._events:
+            if event.subject not in seen:
+                seen.append(event.subject)
+        return seen
+
+    # ----------------------------------------------------------------- export
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Serialise the trace as a list of plain dictionaries."""
+        return [
+            {
+                "time": event.time,
+                "category": event.category,
+                "subject": event.subject,
+                **event.details,
+            }
+            for event in self._events
+        ]
+
+    def describe(self, limit: Optional[int] = None) -> str:
+        """Multi-line human readable rendering (optionally truncated)."""
+        events: Iterable[TraceEvent] = self._events
+        if limit is not None:
+            events = self._events[:limit]
+        lines = [event.describe() for event in events]
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"... ({len(self._events) - limit} more events)")
+        return "\n".join(lines)

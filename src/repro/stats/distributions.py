@@ -1,0 +1,54 @@
+"""Empirical distribution utilities.
+
+Used by the delay-model experiments (E4, E7) to compare sampled delays against
+their theoretical means, tails and quantiles, and by the tests that check the
+delay distributions in :mod:`repro.network.delays` actually have the moments
+they claim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["ecdf", "empirical_quantile", "tail_mass"]
+
+
+def ecdf(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """The empirical CDF as a list of ``(value, P[X <= value])`` pairs."""
+    if not samples:
+        raise ValueError("cannot build an ECDF from an empty sample")
+    ordered = sorted(samples)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        # Collapse ties onto the final (largest) cumulative probability.
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / n)
+        else:
+            points.append((value, index / n))
+    return points
+
+
+def empirical_quantile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (nearest-rank definition) of a non-empty sample."""
+    if not samples:
+        raise ValueError("cannot take a quantile of an empty sample")
+    if not (0.0 <= q <= 1.0):
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    rank = max(1, int(-(-q * len(ordered) // 1)))  # ceil without math import
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def tail_mass(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly above ``threshold``.
+
+    For the retransmission channel this is the empirical counterpart of the
+    paper's ``(1 - p)^k`` tail-probability argument that message delays cannot
+    be bounded.
+    """
+    if not samples:
+        raise ValueError("cannot compute a tail mass of an empty sample")
+    return sum(1 for x in samples if x > threshold) / len(samples)

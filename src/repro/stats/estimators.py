@@ -1,0 +1,81 @@
+"""Basic sample estimators.
+
+Thin, dependency-light wrappers used throughout the experiment harness; they
+exist (rather than calling numpy inline everywhere) so that the statistical
+conventions -- unbiased sample variance, standard error definition, empty
+sample handling -- are fixed in exactly one place and unit-tested there.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["mean", "sample_variance", "standard_error", "SampleSummary", "summarise"]
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean.
+
+    Raises
+    ------
+    ValueError
+        If ``samples`` is empty (a silent 0 would corrupt experiment tables).
+    """
+    if not samples:
+        raise ValueError("cannot take the mean of an empty sample")
+    return sum(samples) / len(samples)
+
+
+def sample_variance(samples: Sequence[float]) -> float:
+    """Unbiased (n-1 denominator) sample variance; 0 for singleton samples."""
+    if not samples:
+        raise ValueError("cannot take the variance of an empty sample")
+    if len(samples) == 1:
+        return 0.0
+    m = mean(samples)
+    return sum((x - m) ** 2 for x in samples) / (len(samples) - 1)
+
+
+def standard_error(samples: Sequence[float]) -> float:
+    """Standard error of the mean: ``sqrt(var / n)``."""
+    if not samples:
+        raise ValueError("cannot take the standard error of an empty sample")
+    return math.sqrt(sample_variance(samples) / len(samples))
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of one sample of a measured quantity."""
+
+    count: int
+    mean: float
+    variance: float
+    std: float
+    sem: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} +/- {self.sem:.2g} "
+            f"(min={self.minimum:.4g}, max={self.maximum:.4g})"
+        )
+
+
+def summarise(samples: Sequence[float]) -> SampleSummary:
+    """Compute a :class:`SampleSummary` of a non-empty sample."""
+    if not samples:
+        raise ValueError("cannot summarise an empty sample")
+    m = mean(samples)
+    var = sample_variance(samples)
+    return SampleSummary(
+        count=len(samples),
+        mean=m,
+        variance=var,
+        std=math.sqrt(var),
+        sem=math.sqrt(var / len(samples)),
+        minimum=min(samples),
+        maximum=max(samples),
+    )

@@ -1,0 +1,76 @@
+"""Streaming (running) aggregates.
+
+Long simulations produce per-event observations that are too numerous to
+retain; these accumulators keep O(1) state while exposing the statistics the
+monitors need (Welford's algorithm for numerically stable running variance).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["RunningMean", "RunningStats"]
+
+
+class RunningMean:
+    """Numerically stable running mean of a stream of values."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+
+    def add(self, value: float) -> None:
+        """Consume one observation."""
+        self.count += 1
+        self._mean += (value - self._mean) / self.count
+
+    @property
+    def mean(self) -> float:
+        """Current mean (0.0 before any observation)."""
+        return self._mean
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunningMean(count={self.count}, mean={self._mean:.6g})"
+
+
+class RunningStats:
+    """Welford running mean/variance/min/max of a stream of values."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Consume one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        """Current mean (0.0 before any observation)."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased running variance (0.0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Running standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(count={self.count}, mean={self._mean:.6g}, "
+            f"std={self.std:.6g})"
+        )

@@ -1,0 +1,56 @@
+"""Synchronizers: running synchronous algorithms on weaker network models.
+
+Section 2 of the paper discusses synchronisation of ABE networks and states
+(Theorem 1) that ABE networks of size ``n`` cannot be synchronised with fewer
+than ``n`` messages per round -- the classical impossibility for asynchronous
+networks carries over because every asynchronous execution is also an ABE
+execution.  The practical consequence: the message-thrifty ABD synchronizer of
+Tel, Korach and Zaks, which relies on the hard delay bound, is *unsound* on
+ABE networks, while sound synchronizers (Awerbuch's alpha and beta) pay at
+least ``n`` messages every round.
+
+This package provides:
+
+* :class:`~repro.synchronizers.alpha.AlphaSynchronizerProgram` -- Awerbuch's
+  alpha synchronizer (acknowledgements + per-neighbour safety announcements).
+* :class:`~repro.synchronizers.beta.BetaSynchronizerProgram` -- Awerbuch's
+  beta synchronizer (acknowledgements + spanning-tree convergecast/broadcast).
+* :class:`~repro.synchronizers.abd.AbdSynchronizerProgram` -- the
+  timeout-based ABD synchronizer, correct when a hard delay bound exists and
+  demonstrably incorrect on ABE delays (late messages / wrong results).
+* :func:`~repro.synchronizers.base.run_synchronized` -- the harness that runs
+  any :class:`~repro.algorithms.synchronous.SyncProcess` under any of the
+  synchronizers on a simulated network and reports the message accounting
+  needed for experiment E5.
+* :mod:`~repro.synchronizers.lower_bound` -- the Theorem 1 bookkeeping
+  (messages per round, violation checks).
+"""
+
+from repro.synchronizers.base import (
+    SynchronizedRunResult,
+    SynchronizerProgram,
+    SynchronizerStatus,
+    run_synchronized,
+)
+from repro.synchronizers.alpha import AlphaSynchronizerProgram
+from repro.synchronizers.beta import BetaSynchronizerProgram, build_bfs_tree
+from repro.synchronizers.abd import AbdSynchronizerProgram
+from repro.synchronizers.lower_bound import (
+    messages_per_round,
+    theorem1_lower_bound,
+    theorem1_satisfied,
+)
+
+__all__ = [
+    "SynchronizerProgram",
+    "SynchronizerStatus",
+    "SynchronizedRunResult",
+    "run_synchronized",
+    "AlphaSynchronizerProgram",
+    "BetaSynchronizerProgram",
+    "build_bfs_tree",
+    "AbdSynchronizerProgram",
+    "messages_per_round",
+    "theorem1_lower_bound",
+    "theorem1_satisfied",
+]

@@ -1,0 +1,128 @@
+"""The ABD synchronizer (timeout based, after Tel, Korach & Zaks).
+
+ABD networks have a known hard bound ``D`` on the message delay, so a
+synchronizer needs *no* control messages at all: if every node starts round
+``r`` at (local) time ``r * T`` with ``T > D + gamma``, then every round-``r``
+message has arrived before any node begins round ``r + 1``.  This is the
+synchronizer the paper contrasts with Theorem 1: it beats the ``n`` messages
+per round bound, but only because it leans on the hard delay bound that ABE
+networks do not have.
+
+On an ABE network the same synchronizer is *unsound*: a message delayed beyond
+``T`` arrives after its round has been processed.  :class:`AbdSynchronizerProgram`
+counts such *late messages* (and drops them, which is what a real
+timeout-driven implementation effectively does), so experiment E5 can show
+both halves of the story:
+
+* on a genuinely bounded (ABD) delay model -- zero late messages, correct
+  results, fewer than ``n`` messages per round;
+* on an ABE delay model with the same *mean* -- late messages appear, results
+  diverge from the synchronous ground truth, confirming that the cheap
+  synchronizer does not transfer to ABE networks.
+
+The implementation assumes the drift-free clock configuration
+(``s_low = s_high``); the timeout is scaled by the clock bounds so slightly
+drifting clocks remain safe on ABD networks, as in the original construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.algorithms.synchronous import SyncProcess
+from repro.synchronizers.base import SynchronizerProgram, SynchronizerStatus
+
+__all__ = ["AbdSynchronizerProgram"]
+
+
+@dataclass(frozen=True)
+class _RoundMessage:
+    """A round-stamped client payload (the only traffic this synchronizer sends)."""
+
+    round_index: int
+    payload: Any
+
+
+class AbdSynchronizerProgram(SynchronizerProgram):
+    """Per-node timeout-driven synchronizer.
+
+    Parameters
+    ----------
+    process, total_rounds, status:
+        As for every :class:`~repro.synchronizers.base.SynchronizerProgram`.
+    delay_bound:
+        The hard bound ``D`` the synchronizer believes in.  On an ABD network
+        this should be the true bound; on an ABE network any finite value is a
+        leap of faith -- which is the point of the experiment.
+    processing_bound:
+        The ``gamma`` bound on local processing time (0 with instantaneous
+        processing).
+    safety_margin:
+        Extra slack added to the round length.
+    """
+
+    def __init__(
+        self,
+        process: SyncProcess,
+        total_rounds: int,
+        status: SynchronizerStatus,
+        *,
+        delay_bound: float,
+        processing_bound: float = 0.0,
+        safety_margin: float = 0.05,
+    ) -> None:
+        super().__init__(process, total_rounds, status)
+        if delay_bound <= 0:
+            raise ValueError("delay_bound must be positive")
+        if processing_bound < 0:
+            raise ValueError("processing_bound must be non-negative")
+        if safety_margin < 0:
+            raise ValueError("safety_margin must be non-negative")
+        self.delay_bound = float(delay_bound)
+        self.processing_bound = float(processing_bound)
+        self.safety_margin = float(safety_margin)
+        self.late_messages = 0
+
+    # ----------------------------------------------------------------- timing
+
+    def round_length(self) -> float:
+        """The local-time length ``T`` of one round.
+
+        ``T`` must exceed the worst-case real time between one node sending a
+        round message and the slowest node processing that round, expressed in
+        local time.  With clock rates within ``[s_low, s_high]`` a sufficient
+        choice is ``(D + gamma) * s_high + margin`` local units, which for the
+        drift-free default reduces to ``D + gamma + margin``.
+        """
+        node = self._require_node()
+        s_high = node.clock.s_high
+        return (self.delay_bound + self.processing_bound) * s_high + self.safety_margin
+
+    # -------------------------------------------------------------- round API
+
+    def begin_round(self, round_index: int, outbox: Dict[int, Any]) -> None:
+        for port, payload in outbox.items():
+            self.send_algorithm(port, _RoundMessage(round_index=round_index, payload=payload))
+        # No control traffic at all: the round ends on a local timer.
+        self.set_timer(self.round_length(), lambda: self._round_timeout(round_index))
+
+    def _round_timeout(self, round_index: int) -> None:
+        if self.finished:
+            return
+        self.complete_round(round_index)
+
+    # ---------------------------------------------------------------- receive
+
+    def on_receive(self, payload: Any, port: int) -> None:
+        if not isinstance(payload, _RoundMessage):
+            raise TypeError(f"ABD synchronizer received unexpected payload {payload!r}")
+        if payload.round_index < self.current_round or self.finished:
+            # The round has already been processed: the message is late.  A
+            # hard delay bound makes this impossible; an ABE delay tail makes
+            # it inevitable eventually.
+            self.late_messages += 1
+            self.status.late_messages += 1
+            self.metrics.increment("late_messages")
+            return
+        self.record_algorithm_payload(payload.round_index, port, payload.payload)

@@ -1,0 +1,219 @@
+"""Awerbuch's beta synchronizer (spanning-tree convergecast / broadcast).
+
+Like the alpha synchronizer, the beta synchronizer detects local safety with
+acknowledgements; unlike alpha, the safety information is aggregated over a
+rooted spanning tree: a node reports ``safe`` to its parent once it is safe
+*and* all of its children have reported; when the root completes, it broadcasts
+``pulse`` down the tree and every node advances one round.
+
+Per-round cost: ``deg`` round messages + ``deg`` acknowledgements per node,
+plus ``2 (n - 1)`` tree messages network-wide.  Latency is proportional to the
+tree depth -- the classical alpha/beta trade-off.  Either way the per-round
+message count is at least ``n``, as Theorem 1 requires of *any* correct
+synchronizer on ABE networks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.algorithms.synchronous import SyncProcess
+from repro.network.topology import Topology
+from repro.synchronizers.base import SynchronizerProgram, SynchronizerStatus
+
+__all__ = ["BetaSynchronizerProgram", "build_bfs_tree"]
+
+
+def build_bfs_tree(topology: Topology, root: int = 0) -> Dict[int, Dict[str, Any]]:
+    """Compute a BFS spanning tree and return per-node tree knowledge.
+
+    Returns a mapping ``uid -> {"parent": parent_uid_or_None, "children":
+    [uids]}`` suitable for :class:`~repro.network.network.NetworkConfig`'s
+    ``knowledge_factory``.  The topology must be strongly connected (all the
+    bidirectional builders are).
+    """
+    if not (0 <= root < topology.n):
+        raise ValueError(f"root {root} outside 0..{topology.n - 1}")
+    parent: Dict[int, Optional[int]] = {root: None}
+    order: List[int] = []
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for neighbour in topology.successors(node):
+            if neighbour not in parent:
+                parent[neighbour] = node
+                queue.append(neighbour)
+    if len(parent) != topology.n:
+        raise ValueError(
+            "topology is not connected: BFS from the root reached only "
+            f"{len(parent)} of {topology.n} nodes"
+        )
+    children: Dict[int, List[int]] = {uid: [] for uid in range(topology.n)}
+    for uid, up in parent.items():
+        if up is not None:
+            children[up].append(uid)
+    return {
+        uid: {"tree_parent": parent[uid], "tree_children": tuple(children[uid])}
+        for uid in range(topology.n)
+    }
+
+
+@dataclass(frozen=True)
+class _RoundMessage:
+    round_index: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class _Ack:
+    round_index: int
+
+
+@dataclass(frozen=True)
+class _TreeSafe:
+    """Convergecast message: the sender's subtree is entirely safe for the round."""
+
+    round_index: int
+
+
+@dataclass(frozen=True)
+class _Pulse:
+    """Broadcast message from the root: everyone may advance past the round."""
+
+    round_index: int
+
+
+class BetaSynchronizerProgram(SynchronizerProgram):
+    """Per-node beta synchronizer.
+
+    Requires the spanning-tree knowledge produced by :func:`build_bfs_tree`
+    to be installed via the network's ``knowledge_factory`` (keys
+    ``tree_parent`` and ``tree_children``).
+    """
+
+    def __init__(
+        self, process: SyncProcess, total_rounds: int, status: SynchronizerStatus
+    ) -> None:
+        super().__init__(process, total_rounds, status)
+        self._acks_pending: Dict[int, int] = {}
+        self._self_safe: Dict[int, bool] = {}
+        self._children_safe: Dict[int, int] = {}
+        self._reported: Dict[int, bool] = {}
+        self._pulsed: Dict[int, bool] = {}
+        self._advanced: Dict[int, bool] = {}
+
+    # ----------------------------------------------------------------- helpers
+
+    @property
+    def tree_parent(self) -> Optional[int]:
+        """Uid of the parent in the spanning tree (``None`` at the root)."""
+        return self.knowledge_item("tree_parent")
+
+    @property
+    def tree_children(self) -> Tuple[int, ...]:
+        """Uids of the children in the spanning tree."""
+        return tuple(self.knowledge_item("tree_children", ()))
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this node is the root of the spanning tree."""
+        return self.tree_parent is None
+
+    # -------------------------------------------------------------- round API
+
+    def begin_round(self, round_index: int, outbox: Dict[int, Any]) -> None:
+        degree = self.out_degree
+        self._acks_pending[round_index] = degree
+        self._self_safe[round_index] = False
+        self._children_safe.setdefault(round_index, 0)
+        self._reported[round_index] = False
+        self._advanced[round_index] = False
+        for port in range(degree):
+            payload = outbox.get(port)
+            message = _RoundMessage(round_index=round_index, payload=payload)
+            if payload is not None:
+                self.send_algorithm(port, message)
+            else:
+                self.send_control(port, message)
+        if degree == 0:
+            self._mark_self_safe(round_index)
+
+    # ---------------------------------------------------------------- receive
+
+    def on_receive(self, payload: Any, port: int) -> None:
+        if isinstance(payload, _RoundMessage):
+            self._handle_round_message(payload, port)
+        elif isinstance(payload, _Ack):
+            self._handle_ack(payload)
+        elif isinstance(payload, _TreeSafe):
+            self._handle_tree_safe(payload)
+        elif isinstance(payload, _Pulse):
+            self._handle_pulse(payload)
+        else:
+            raise TypeError(f"beta synchronizer received unexpected payload {payload!r}")
+
+    def _handle_round_message(self, message: _RoundMessage, port: int) -> None:
+        if message.payload is not None:
+            self.record_algorithm_payload(message.round_index, port, message.payload)
+        reply_port = self.port_to(self.in_neighbor(port))
+        self.send_control(reply_port, _Ack(round_index=message.round_index))
+
+    def _handle_ack(self, ack: _Ack) -> None:
+        round_index = ack.round_index
+        pending = self._acks_pending.get(round_index, 0) - 1
+        self._acks_pending[round_index] = pending
+        if pending == 0:
+            self._mark_self_safe(round_index)
+
+    def _mark_self_safe(self, round_index: int) -> None:
+        if self._self_safe.get(round_index):
+            return
+        self._self_safe[round_index] = True
+        self._maybe_report(round_index)
+
+    def _handle_tree_safe(self, message: _TreeSafe) -> None:
+        round_index = message.round_index
+        self._children_safe[round_index] = self._children_safe.get(round_index, 0) + 1
+        self._maybe_report(round_index)
+
+    def _maybe_report(self, round_index: int) -> None:
+        if self._reported.get(round_index):
+            return
+        if not self._self_safe.get(round_index):
+            return
+        if self._children_safe.get(round_index, 0) < len(self.tree_children):
+            return
+        self._reported[round_index] = True
+        if self.is_root:
+            self._broadcast_pulse(round_index)
+            self._advance(round_index)
+        else:
+            parent_port = self.port_to(self.tree_parent)
+            self.send_control(parent_port, _TreeSafe(round_index=round_index))
+
+    def _broadcast_pulse(self, round_index: int) -> None:
+        if self._pulsed.get(round_index):
+            return
+        self._pulsed[round_index] = True
+        for child in self.tree_children:
+            self.send_control(self.port_to(child), _Pulse(round_index=round_index))
+
+    def _handle_pulse(self, message: _Pulse) -> None:
+        round_index = message.round_index
+        self._broadcast_pulse(round_index)
+        self._advance(round_index)
+
+    # ----------------------------------------------------------------- action
+
+    def _advance(self, round_index: int) -> None:
+        if self.finished or self._advanced.get(round_index):
+            return
+        self._advanced[round_index] = True
+        self._acks_pending.pop(round_index, None)
+        self._self_safe.pop(round_index, None)
+        self._children_safe.pop(round_index, None)
+        self._reported.pop(round_index, None)
+        self.complete_round(round_index)

@@ -1,0 +1,70 @@
+"""Theorem 1 bookkeeping: messages per round of a synchronized execution.
+
+    **Theorem 1.**  ABE networks of size ``n`` cannot be synchronised with
+    fewer than ``n`` messages per round.
+
+The theorem is inherited from the classical impossibility for asynchronous
+networks [Awerbuch 1985] because every asynchronous execution is also an ABE
+execution.  It cannot be "proved" by simulation, but it can be *exhibited*:
+every correct synchronizer we run sends at least ``n`` messages per round,
+and the only synchronizer that undercuts the bound (the timeout-based ABD
+synchronizer) stops being correct the moment delays are merely
+expectation-bounded.  The helpers here extract the relevant numbers from a
+:class:`~repro.synchronizers.base.SynchronizedRunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.synchronizers.base import SynchronizedRunResult
+
+__all__ = [
+    "theorem1_lower_bound",
+    "messages_per_round",
+    "theorem1_satisfied",
+    "summarise_runs",
+]
+
+
+def theorem1_lower_bound(n: int) -> int:
+    """The Theorem 1 bound: ``n`` messages per round for a network of size ``n``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return n
+
+
+def messages_per_round(result: SynchronizedRunResult) -> float:
+    """Average number of messages (algorithm + control) per simulated round."""
+    return result.messages_per_round
+
+
+def theorem1_satisfied(result: SynchronizedRunResult) -> bool:
+    """Whether the run respected the Theorem 1 lower bound.
+
+    A correct synchronizer must satisfy this on every ABE network; the ABD
+    synchronizer may violate it, but then it also fails correctness on ABE
+    delays (late messages / diverging results), which is exactly the trade-off
+    the theorem captures.
+    """
+    return result.messages_per_round >= theorem1_lower_bound(result.n) - 1e-9
+
+
+def summarise_runs(results: Sequence[SynchronizedRunResult]) -> List[dict]:
+    """Summarise a batch of synchronized runs for the experiment tables."""
+    rows = []
+    for result in results:
+        rows.append(
+            {
+                "synchronizer": result.synchronizer,
+                "topology": result.topology_name,
+                "n": result.n,
+                "rounds": result.rounds,
+                "messages_per_round": result.messages_per_round,
+                "control_per_round": result.control_messages_per_round,
+                "late_messages": result.late_messages,
+                "meets_theorem1": theorem1_satisfied(result),
+                "completed": result.completed,
+            }
+        )
+    return rows

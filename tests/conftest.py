@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.delays import ConstantDelay, ExponentialDelay
+from repro.network.network import Network, NetworkConfig
+from repro.network.topology import bidirectional_ring, unidirectional_ring
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    """A fresh simulator starting at time 0."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random stream for sampling-based tests."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def random_source() -> RandomSource:
+    """A deterministic named-stream factory."""
+    return RandomSource(987)
+
+
+@pytest.fixture
+def small_ring_config() -> NetworkConfig:
+    """A 6-node unidirectional ring with constant unit delays."""
+    return NetworkConfig(
+        topology=unidirectional_ring(6),
+        delay_model=ConstantDelay(1.0),
+        seed=42,
+    )
+
+
+@pytest.fixture
+def small_biring_config() -> NetworkConfig:
+    """A 6-node bidirectional ring with exponential (ABE) delays."""
+    return NetworkConfig(
+        topology=bidirectional_ring(6),
+        delay_model=ExponentialDelay(mean=1.0),
+        seed=43,
+    )
+
+
+def build_network(config: NetworkConfig, program_factory) -> Network:
+    """Small helper used by several test modules."""
+    return Network(config, program_factory)

@@ -1,0 +1,128 @@
+"""Tests for the synchronous-algorithm framework and its client algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.synchronous import (
+    FloodingSync,
+    MaxComputationSync,
+    RoundCounterSync,
+    SyncContext,
+    SynchronousExecutor,
+)
+from repro.network.topology import (
+    bidirectional_ring,
+    grid_topology,
+    line_topology,
+    star_topology,
+)
+
+
+class TestSynchronousExecutor:
+    def test_max_computation_converges_to_global_max(self):
+        topology = bidirectional_ring(10)
+        values = {uid: (uid * 13) % 31 for uid in range(10)}
+        executor = SynchronousExecutor(
+            topology, lambda uid: MaxComputationSync(values[uid], rounds_needed=10)
+        )
+        outcome = executor.run()
+        assert all(result == max(values.values()) for result in outcome.results)
+        assert outcome.rounds == 10
+
+    def test_max_computation_on_line_needs_diameter_rounds(self):
+        topology = line_topology(6)
+        executor = SynchronousExecutor(
+            topology, lambda uid: MaxComputationSync(float(uid), rounds_needed=5)
+        )
+        outcome = executor.run()
+        assert all(result == 5.0 for result in outcome.results)
+
+    def test_flooding_informs_everyone_within_horizon(self):
+        topology = star_topology(7)
+        executor = SynchronousExecutor(
+            topology,
+            lambda uid: FloodingSync(is_initiator=(uid == 0), value="v", max_rounds=4),
+        )
+        outcome = executor.run()
+        assert all(value == "v" for value, _ in outcome.results)
+
+    def test_flooding_learned_round_matches_distance(self):
+        topology = line_topology(5)
+        executor = SynchronousExecutor(
+            topology,
+            lambda uid: FloodingSync(is_initiator=(uid == 0), value="v", max_rounds=6),
+        )
+        outcome = executor.run()
+        learned_rounds = [round_index for _, round_index in outcome.results]
+        # The initiator knows at "round -1"; node k learns in round k - 1
+        # (its messages for round 0 are the initial sends).
+        assert learned_rounds[0] == -1
+        assert learned_rounds == sorted(learned_rounds)
+
+    def test_round_counter_heartbeats(self):
+        topology = bidirectional_ring(6)
+        rounds = 5
+        executor = SynchronousExecutor(topology, lambda uid: RoundCounterSync(rounds))
+        outcome = executor.run()
+        # Each node hears from both neighbours every round.
+        assert all(result == 2 * rounds for result in outcome.results)
+        assert outcome.algorithm_messages == 2 * 6 * rounds
+
+    def test_executor_stops_at_max_rounds(self):
+        topology = bidirectional_ring(4)
+        executor = SynchronousExecutor(topology, lambda uid: RoundCounterSync(100))
+        outcome = executor.run(max_rounds=3)
+        assert outcome.rounds == 3
+
+    def test_invalid_max_rounds(self):
+        executor = SynchronousExecutor(
+            bidirectional_ring(4), lambda uid: RoundCounterSync(1)
+        )
+        with pytest.raises(ValueError):
+            executor.run(max_rounds=0)
+
+    def test_addressing_nonexistent_port_raises(self):
+        class BadProcess(RoundCounterSync):
+            def initial_messages(self):
+                return {99: "boom"}
+
+        executor = SynchronousExecutor(bidirectional_ring(4), lambda uid: BadProcess(1))
+        with pytest.raises(ValueError):
+            executor.run()
+
+    def test_grid_flooding_covers_grid(self):
+        topology = grid_topology(3, 4)
+        executor = SynchronousExecutor(
+            topology,
+            lambda uid: FloodingSync(is_initiator=(uid == 0), value=7, max_rounds=7),
+        )
+        outcome = executor.run()
+        assert all(value == 7 for value, _ in outcome.results)
+
+
+class TestSyncProcessProtocol:
+    def test_setup_required_before_use(self):
+        process = MaxComputationSync(1.0)
+        with pytest.raises(RuntimeError):
+            process.initial_messages()
+
+    def test_context_is_stored(self):
+        process = RoundCounterSync(2)
+        ctx = SyncContext(uid=3, n=5, out_degree=2, in_degree=2)
+        process.setup(ctx)
+        assert process.ctx == ctx
+
+    def test_round_counter_validation(self):
+        with pytest.raises(ValueError):
+            RoundCounterSync(0)
+
+    def test_finished_flag_progression(self):
+        process = RoundCounterSync(2)
+        process.setup(SyncContext(uid=0, n=2, out_degree=1, in_degree=1))
+        assert not process.finished
+        process.initial_messages()
+        process.compute(0, {})
+        assert not process.finished
+        process.compute(1, {})
+        assert process.finished

@@ -1,0 +1,150 @@
+"""Tests for flooding, echo and ring traversal (the auxiliary workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.echo import EchoProgram
+from repro.algorithms.flooding import FloodingProgram
+from repro.algorithms.traversal import RingTraversalProgram
+from repro.network.delays import ConstantDelay, ExponentialDelay
+from repro.network.network import Network, NetworkConfig
+from repro.network.topology import (
+    bidirectional_ring,
+    grid_topology,
+    line_topology,
+    random_connected,
+    star_topology,
+    tree_topology,
+    unidirectional_ring,
+)
+
+
+def run_flood(topology, seed=0, delay=None):
+    config = NetworkConfig(
+        topology=topology, delay_model=delay or ConstantDelay(1.0), seed=seed
+    )
+    network = Network(
+        config,
+        lambda uid: FloodingProgram(is_initiator=(uid == 0), value="announcement"),
+    )
+    network.run(max_events=100_000)
+    return network
+
+
+class TestFlooding:
+    @pytest.mark.parametrize(
+        "topology_builder",
+        [
+            lambda: bidirectional_ring(8),
+            lambda: line_topology(6),
+            lambda: star_topology(7),
+            lambda: tree_topology(10),
+            lambda: grid_topology(3, 3),
+            lambda: random_connected(12, 0.3, seed=4),
+        ],
+    )
+    def test_every_node_informed_on_connected_topologies(self, topology_builder):
+        network = run_flood(topology_builder())
+        assert all(value == "announcement" for value in network.results())
+
+    def test_unidirectional_ring_also_floods(self):
+        network = run_flood(unidirectional_ring(7))
+        assert all(value == "announcement" for value in network.results())
+
+    def test_message_count_bounded_by_edges(self):
+        topology = grid_topology(3, 3)
+        network = run_flood(topology)
+        # Each node forwards at most once on each outgoing port.
+        assert network.messages_sent() <= topology.edge_count + topology.out_degree(0)
+
+    def test_hop_count_matches_distance_on_line(self):
+        config = NetworkConfig(
+            topology=line_topology(5), delay_model=ConstantDelay(1.0), seed=0
+        )
+        network = Network(
+            config, lambda uid: FloodingProgram(is_initiator=(uid == 0), value=1)
+        )
+        network.run(max_events=10_000)
+        programs = network.programs()
+        assert [p.received_hops for p in programs] == [0, 1, 2, 3, 4]
+
+    def test_rejects_unexpected_payload(self):
+        network = run_flood(line_topology(3))
+        with pytest.raises(TypeError):
+            network.programs()[1].on_receive("junk", 0)
+
+
+class TestEcho:
+    @pytest.mark.parametrize(
+        "topology_builder",
+        [
+            lambda: line_topology(6),
+            lambda: star_topology(6),
+            lambda: tree_topology(9),
+            lambda: grid_topology(3, 3),
+            lambda: bidirectional_ring(8),
+            lambda: random_connected(10, 0.4, seed=2),
+        ],
+    )
+    def test_initiator_decides_on_connected_topologies(self, topology_builder):
+        topology = topology_builder()
+        config = NetworkConfig(
+            topology=topology, delay_model=ExponentialDelay(0.5), seed=3
+        )
+        network = Network(
+            config, lambda uid: EchoProgram(is_initiator=(uid == 0), wave_id=1)
+        )
+        network.run(max_events=100_000)
+        assert network.programs()[0].decided
+        assert network.results()[0] is True
+
+    def test_non_initiators_learn_a_parent(self):
+        config = NetworkConfig(
+            topology=tree_topology(9), delay_model=ConstantDelay(1.0), seed=0
+        )
+        network = Network(config, lambda uid: EchoProgram(is_initiator=(uid == 0)))
+        network.run(max_events=10_000)
+        for uid, program in enumerate(network.programs()):
+            if uid != 0:
+                assert program.parent_uid is not None
+
+    def test_message_count_is_two_per_link(self):
+        topology = tree_topology(9)
+        config = NetworkConfig(topology=topology, delay_model=ConstantDelay(1.0), seed=0)
+        network = Network(config, lambda uid: EchoProgram(is_initiator=(uid == 0)))
+        network.run(max_events=10_000)
+        assert network.messages_sent() == topology.edge_count
+
+
+class TestRingTraversal:
+    def test_single_lap_takes_n_messages(self):
+        config = NetworkConfig(
+            topology=unidirectional_ring(9), delay_model=ConstantDelay(1.0), seed=0
+        )
+        network = Network(
+            config, lambda uid: RingTraversalProgram(is_initiator=(uid == 0), target_laps=1)
+        )
+        network.run(max_events=1000)
+        assert network.messages_sent() == 9
+        assert network.now == pytest.approx(9.0)
+
+    def test_multi_lap_timing_matches_expected_delay(self):
+        laps = 5
+        config = NetworkConfig(
+            topology=unidirectional_ring(6), delay_model=ExponentialDelay(mean=1.0), seed=7
+        )
+        network = Network(
+            config,
+            lambda uid: RingTraversalProgram(is_initiator=(uid == 0), target_laps=laps),
+        )
+        network.run(max_events=10_000)
+        initiator = network.programs()[0]
+        assert initiator.completed_laps == laps
+        mean_lap = sum(initiator.lap_times) / len(initiator.lap_times)
+        # One lap over 6 channels with mean delay 1 takes about 6 time units.
+        assert 2.0 < mean_lap < 14.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingTraversalProgram(target_laps=0)

@@ -1,0 +1,56 @@
+"""Tests for the ``abe-repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_elect_defaults(self):
+        args = build_parser().parse_args(["elect"])
+        assert args.command == "elect"
+        assert args.n == 32
+        assert args.a0 is None
+
+    def test_experiment_requires_known_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "nope"])
+
+    def test_experiment_accepts_overrides(self):
+        args = build_parser().parse_args(["experiment", "e4", "--trials", "3", "--seed", "9"])
+        assert args.experiment_id == "e4"
+        assert args.trials == 3
+        assert args.seed == 9
+
+
+class TestCommands:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "abe-repro" in capsys.readouterr().out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("e1", "e5", "a2"):
+            assert experiment_id in output
+
+    def test_elect_command_small_ring(self, capsys):
+        exit_code = main(["elect", "--n", "8", "--seed", "3"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "leader elected     : True" in output
+        assert "messages sent" in output
+
+    def test_elect_command_with_explicit_a0(self, capsys):
+        exit_code = main(["elect", "--n", "6", "--a0", "0.1", "--seed", "1"])
+        assert exit_code == 0
+        assert "0.1" in capsys.readouterr().out
+
+    def test_experiment_command_runs_e4(self, capsys):
+        exit_code = main(["experiment", "e4", "--trials", "1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "E4" in output
+        assert "findings:" in output

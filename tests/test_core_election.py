@@ -1,0 +1,242 @@
+"""Unit and integration tests for the ABE election algorithm (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activation import AdaptiveActivation
+from repro.core.analysis import recommended_a0
+from repro.core.election import AbeElectionProgram, ElectionStatus, NodeState
+from repro.core.messages import HopMessage
+from repro.core.runner import build_election_network, run_election, run_election_on_network
+from repro.core.verification import ElectionInvariantError, verify_election
+from repro.network.delays import ConstantDelay, ExponentialDelay
+from repro.network.network import Network, NetworkConfig
+from repro.network.topology import line_topology, unidirectional_ring
+
+
+class TestStateMachineRules:
+    """Direct tests of the per-node transition rules (no full simulation)."""
+
+    def _bound_program(self, n=4, **kwargs):
+        status = ElectionStatus()
+        program = AbeElectionProgram(status, schedule=AdaptiveActivation(0.3), **kwargs)
+        config = NetworkConfig(
+            topology=unidirectional_ring(n), delay_model=ConstantDelay(1.0), seed=0
+        )
+        network = Network(config, lambda uid: AbeElectionProgram(ElectionStatus()))
+        # Rebind our program onto node 0 so its sends go to a real channel.
+        network.nodes[0].program = program
+        program.bind(network.nodes[0])
+        program.state = NodeState.IDLE
+        program.d = 1
+        return program, status, network
+
+    def test_rule_i_idle_becomes_passive_and_forwards_d_plus_one(self):
+        program, status, network = self._bound_program()
+        program.d = 2
+        program.on_receive(HopMessage(hop=1), port=0)
+        assert program.state is NodeState.PASSIVE
+        # d stays max(2, 1) = 2, so the forwarded hop is 3.
+        sent = network.tracer.filter(category="send", subject=0)
+        assert sent[-1].details["payload"].hop == 3
+        assert status.knockouts == 1
+
+    def test_receive_updates_d_to_max(self):
+        program, _, _ = self._bound_program()
+        program.state = NodeState.PASSIVE
+        program.on_receive(HopMessage(hop=3), port=0)
+        assert program.d == 3
+        program.on_receive(HopMessage(hop=2), port=0)
+        assert program.d == 3
+
+    def test_rule_ii_passive_forwards(self):
+        program, status, network = self._bound_program()
+        program.state = NodeState.PASSIVE
+        program.on_receive(HopMessage(hop=2), port=0)
+        assert program.state is NodeState.PASSIVE
+        sent = network.tracer.filter(category="send", subject=0)
+        assert sent[-1].details["payload"].hop == 3
+        # Forwarding at a passive node is not a knockout.
+        assert status.knockouts == 0
+
+    def test_rule_iii_active_purges_and_becomes_idle(self):
+        program, _, network = self._bound_program()
+        program.state = NodeState.ACTIVE
+        before = network.messages_sent()
+        program.on_receive(HopMessage(hop=2), port=0)
+        assert program.state is NodeState.IDLE
+        assert network.messages_sent() == before  # purged, nothing forwarded
+
+    def test_rule_iii_active_becomes_leader_on_hop_n(self):
+        program, status, _ = self._bound_program(n=4)
+        program.state = NodeState.ACTIVE
+        program.on_receive(HopMessage(hop=4), port=0)
+        assert program.state is NodeState.LEADER
+        assert program.is_leader
+        assert status.leader_uid == 0
+        assert status.leaders_elected == 1
+
+    def test_leader_purges_residual_messages(self):
+        program, _, network = self._bound_program(n=4)
+        program.state = NodeState.ACTIVE
+        program.on_receive(HopMessage(hop=4), port=0)
+        before = network.messages_sent()
+        program.on_receive(HopMessage(hop=2), port=0)
+        assert network.messages_sent() == before
+        assert program.state is NodeState.LEADER
+
+    def test_non_hop_payload_rejected(self):
+        program, _, _ = self._bound_program()
+        with pytest.raises(TypeError):
+            program.on_receive("garbage", port=0)
+
+    def test_result_reports_state(self):
+        program, _, _ = self._bound_program()
+        assert program.result() is NodeState.IDLE
+
+    def test_tick_period_validation(self):
+        with pytest.raises(ValueError):
+            AbeElectionProgram(ElectionStatus(), tick_period=0.0)
+
+
+class TestRunnerEndToEnd:
+    def test_small_ring_elects_exactly_one_leader(self):
+        result = run_election(4, a0=0.2, seed=1)
+        assert result.elected
+        assert result.leaders_elected == 1
+        assert 0 <= result.leader_uid < 4
+        assert result.hop_overflows == 0
+        assert result.messages_total >= 4  # at least one full traversal
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_many_seeds_all_elect_single_leader(self, seed):
+        result = run_election(8, a0=recommended_a0(8), seed=seed)
+        assert result.elected
+        assert result.leaders_elected == 1
+
+    def test_reproducible_given_seed(self):
+        a = run_election(8, a0=0.05, seed=13)
+        b = run_election(8, a0=0.05, seed=13)
+        assert (a.leader_uid, a.messages_total, a.election_time) == (
+            b.leader_uid,
+            b.messages_total,
+            b.election_time,
+        )
+
+    def test_different_seeds_differ(self):
+        outcomes = {
+            run_election(8, a0=0.05, seed=seed).election_time for seed in range(6)
+        }
+        assert len(outcomes) > 1
+
+    def test_verification_passes_on_real_runs(self):
+        network, status = build_election_network(10, a0=recommended_a0(10), seed=5)
+        result = run_election_on_network(network, status)
+        report = verify_election(network, result)
+        assert report.ok
+        assert report.checks_performed >= 8
+
+    def test_works_with_fifo_channels_too(self):
+        result = run_election(6, a0=0.1, seed=3, fifo=True)
+        assert result.elected
+
+    def test_works_with_processing_delay(self):
+        result = run_election(
+            6, a0=0.1, seed=3, processing_delay=ConstantDelay(0.05)
+        )
+        assert result.elected
+
+    def test_works_under_clock_drift(self):
+        result = run_election(6, a0=0.1, seed=3, clock_bounds=(0.5, 2.0))
+        assert result.elected
+        assert result.leaders_elected == 1
+
+    def test_ring_size_validation(self):
+        with pytest.raises(ValueError):
+            run_election(1)
+
+    def test_model_validation_rejects_wrong_delta(self):
+        from repro.models.base import ModelValidationError
+
+        with pytest.raises(ModelValidationError):
+            run_election(
+                4, a0=0.2, delay=ExponentialDelay(2.0), expected_delay_bound=1.0, seed=0
+            )
+
+    def test_model_validation_can_be_disabled(self):
+        result = run_election(
+            4,
+            a0=0.2,
+            delay=ExponentialDelay(2.0),
+            expected_delay_bound=1.0,
+            validate_model=False,
+            seed=0,
+        )
+        assert result.elected
+
+    def test_requires_ring_topology(self):
+        status = ElectionStatus()
+        config = NetworkConfig(
+            topology=line_topology(4), delay_model=ConstantDelay(1.0), seed=0
+        )
+        network = Network(config, lambda uid: AbeElectionProgram(status))
+        with pytest.raises(RuntimeError, match="unidirectional rings"):
+            network.run(max_events=10)
+
+    def test_requires_known_ring_size(self):
+        status = ElectionStatus()
+        config = NetworkConfig(
+            topology=unidirectional_ring(4),
+            delay_model=ConstantDelay(1.0),
+            seed=0,
+            size_known=False,
+        )
+        network = Network(config, lambda uid: AbeElectionProgram(status))
+        with pytest.raises(RuntimeError, match="size n"):
+            network.run(max_events=10)
+
+    def test_result_convenience_properties(self):
+        result = run_election(8, a0=0.05, seed=2)
+        assert result.messages_per_node == pytest.approx(result.messages_total / 8)
+        assert result.time_per_node == pytest.approx(result.election_time / 8)
+
+    def test_max_events_budget_reports_non_termination(self):
+        # An absurdly small budget: the run stops before anyone wins.
+        result = run_election(16, a0=1e-6, seed=0, max_events=10)
+        assert not result.elected
+        assert result.leader_uid is None
+
+
+class TestVerificationChecker:
+    def test_detects_fabricated_second_leader(self):
+        network, status = build_election_network(6, a0=0.1, seed=4)
+        result = run_election_on_network(network, status)
+        # Corrupt the final state: promote another node to leader.
+        for program in network.programs():
+            if program.state is not NodeState.LEADER:
+                program.state = NodeState.LEADER
+                break
+        with pytest.raises(ElectionInvariantError):
+            verify_election(network, result)
+
+    def test_detects_missing_leader_when_required(self):
+        network, status = build_election_network(6, a0=0.1, seed=4)
+        # Never run the network: nobody is leader.
+        report = verify_election(network, None, require_elected=True, strict=False)
+        assert not report.ok
+
+    def test_missing_leader_tolerated_when_not_required(self):
+        network, status = build_election_network(6, a0=0.1, seed=4)
+        report = verify_election(network, None, require_elected=False, strict=False)
+        assert report.ok
+
+    def test_wrong_program_type_is_flagged(self):
+        from repro.algorithms.traversal import RingTraversalProgram
+
+        config = NetworkConfig(
+            topology=unidirectional_ring(4), delay_model=ConstantDelay(1.0), seed=0
+        )
+        network = Network(config, lambda uid: RingTraversalProgram(is_initiator=(uid == 0)))
+        report = verify_election(network, None, strict=False)
+        assert not report.ok

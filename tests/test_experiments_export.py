@@ -1,0 +1,79 @@
+"""Tests for the Markdown / CSV export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.experiments.export import (
+    experiment_to_markdown,
+    experiments_to_markdown,
+    table_to_csv,
+    table_to_markdown,
+)
+from repro.experiments.results import ExperimentResult, ResultTable
+
+
+def sample_table() -> ResultTable:
+    table = ResultTable(title="demo table", columns=["n", "cost", "ok"])
+    table.add_row(n=8, cost=12.5, ok=True)
+    table.add_row(n=16, cost=25.0, ok=False)
+    table.add_note("a note")
+    return table
+
+
+def sample_experiment() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="e9",
+        title="demo experiment",
+        claim="demo claim",
+        tables=[sample_table()],
+        findings={"works": True, "ratio": 2.0},
+        parameters={"trials": 3},
+    )
+
+
+class TestMarkdownExport:
+    def test_table_markdown_structure(self):
+        text = table_to_markdown(sample_table())
+        lines = text.splitlines()
+        assert lines[0] == "**demo table**"
+        assert lines[2] == "| n | cost | ok |"
+        assert lines[3] == "| --- | --- | --- |"
+        assert "| 8 | 12.5 | yes |" in lines
+        assert "| 16 | 25 | no |" in lines
+        assert any("a note" in line for line in lines)
+
+    def test_experiment_markdown_contains_claim_findings_parameters(self):
+        text = experiment_to_markdown(sample_experiment())
+        assert "### E9 -- demo experiment" in text
+        assert "*Claim:* demo claim" in text
+        assert "- `works`: yes" in text
+        assert "trials=3" in text
+
+    def test_multiple_experiments_concatenated(self):
+        text = experiments_to_markdown([sample_experiment(), sample_experiment()])
+        assert text.count("### E9") == 2
+
+    def test_real_experiment_renders(self):
+        from repro.experiments import e4_retransmission
+
+        result = e4_retransmission.run(probabilities=(0.5,), messages=500, base_seed=1)
+        text = experiment_to_markdown(result)
+        assert "E4" in text
+        assert "| p |" in text or "| p " in text
+
+
+class TestCsvExport:
+    def test_round_trips_through_csv_reader(self):
+        text = table_to_csv(sample_table())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["n", "cost", "ok"]
+        assert rows[1] == ["8", "12.5", "True"]
+        assert len(rows) == 3
+
+    def test_missing_cells_become_empty_strings(self):
+        table = ResultTable(title="t", columns=["a", "b"])
+        table.add_row(a=1)
+        rows = list(csv.reader(io.StringIO(table_to_csv(table))))
+        assert rows[1] == ["1", ""]

@@ -1,0 +1,214 @@
+"""Unit tests for the network-model taxonomy (synchronous / ABD / ABE / async)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import (
+    ABDModel,
+    ABEModel,
+    AsynchronousModel,
+    ModelValidationError,
+    SynchronousModel,
+    classify_delay,
+)
+from repro.network.delays import (
+    ConstantDelay,
+    ExponentialDelay,
+    ParetoDelay,
+    TruncatedDelay,
+    UniformDelay,
+)
+from repro.network.adversary import MaxDelayAdversary, TargetedSlowdownAdversary
+from repro.network.network import NetworkConfig
+from repro.network.retransmission import GeometricRetransmissionDelay
+from repro.network.topology import unidirectional_ring
+
+
+class TestClassifyDelay:
+    def test_unit_constant_is_synchronous(self):
+        assert classify_delay(ConstantDelay(1.0)) == "synchronous"
+
+    def test_bounded_is_abd(self):
+        assert classify_delay(UniformDelay(0.0, 2.0)) == "abd"
+        assert classify_delay(ConstantDelay(3.0)) == "abd"
+
+    def test_unbounded_finite_mean_is_abe(self):
+        assert classify_delay(ExponentialDelay(1.0)) == "abe"
+        assert classify_delay(GeometricRetransmissionDelay(0.5)) == "abe"
+
+    def test_infinite_mean_is_asynchronous(self):
+        assert classify_delay(ParetoDelay(alpha=0.8)) == "asynchronous"
+
+
+class TestABEModel:
+    def test_definition_1_aliases(self):
+        model = ABEModel(expected_delay_bound=2.0, expected_processing_bound=0.5)
+        assert model.delta == 2.0
+        assert model.gamma == 0.5
+        assert model.known_bounds()["expected_delay_bound"] == 2.0
+
+    def test_admits_unbounded_with_mean_below_delta(self):
+        model = ABEModel(expected_delay_bound=2.0)
+        assert model.admits_delay(ExponentialDelay(mean=2.0))
+        assert model.admits_delay(GeometricRetransmissionDelay(0.5))
+        assert model.admits_delay(UniformDelay(0.0, 4.0))  # mean 2 <= delta
+
+    def test_rejects_mean_above_delta(self):
+        model = ABEModel(expected_delay_bound=1.0)
+        assert not model.admits_delay(ExponentialDelay(mean=1.5))
+        with pytest.raises(ModelValidationError):
+            model.validate_delay(ExponentialDelay(mean=1.5))
+
+    def test_rejects_infinite_mean(self):
+        model = ABEModel(expected_delay_bound=10.0)
+        with pytest.raises(ModelValidationError):
+            model.validate_delay(ParetoDelay(alpha=1.0))
+
+    def test_admits_adversary_via_declared_mean(self):
+        model = ABEModel(expected_delay_bound=5.0)
+        adversary = TargetedSlowdownAdversary(ExponentialDelay(1.0), victim=0, slowdown=4.0)
+        assert model.admits_delay(adversary)
+
+    def test_clock_bound_validation(self):
+        model = ABEModel(expected_delay_bound=1.0, s_low=0.5, s_high=2.0)
+        assert model.admits_clock_bounds(0.5, 2.0)
+        assert model.admits_clock_bounds(0.8, 1.5)
+        assert not model.admits_clock_bounds(0.4, 2.0)
+        assert not model.admits_clock_bounds(0.5, 3.0)
+
+    def test_processing_bound_validation(self):
+        model = ABEModel(expected_delay_bound=1.0, expected_processing_bound=0.1)
+        model.validate_processing(ConstantDelay(0.1))
+        with pytest.raises(ModelValidationError):
+            model.validate_processing(ConstantDelay(0.2))
+
+    def test_validate_config_end_to_end(self):
+        model = ABEModel(expected_delay_bound=1.0)
+        good = NetworkConfig(
+            topology=unidirectional_ring(4), delay_model=ExponentialDelay(1.0), seed=0
+        )
+        model.validate_config(good)
+        bad = NetworkConfig(
+            topology=unidirectional_ring(4), delay_model=ExponentialDelay(2.0), seed=0
+        )
+        with pytest.raises(ModelValidationError):
+            model.validate_config(bad)
+
+    def test_validate_config_with_factory_checks_every_channel(self):
+        model = ABEModel(expected_delay_bound=1.0)
+
+        def factory(channel_id, source, destination):
+            return ExponentialDelay(0.5 if channel_id < 3 else 5.0)
+
+        config = NetworkConfig(
+            topology=unidirectional_ring(4), delay_model=factory, seed=0
+        )
+        with pytest.raises(ModelValidationError):
+            model.validate_config(config)
+
+    def test_contains_abd(self):
+        model = ABEModel(expected_delay_bound=3.0)
+        assert model.contains_abd(2.0)
+        assert not model.contains_abd(4.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ABEModel(expected_delay_bound=0.0)
+        with pytest.raises(ValueError):
+            ABEModel(expected_delay_bound=1.0, s_low=0.0)
+        with pytest.raises(ValueError):
+            ABEModel(expected_delay_bound=1.0, expected_processing_bound=-1.0)
+
+
+class TestABDModel:
+    def test_admits_only_hard_bounded_delays(self):
+        model = ABDModel(delay_bound=2.0)
+        assert model.admits_delay(UniformDelay(0.0, 2.0))
+        assert model.admits_delay(ConstantDelay(1.0))
+        assert not model.admits_delay(ExponentialDelay(0.5))
+        assert not model.admits_delay(UniformDelay(0.0, 3.0))
+
+    def test_truncation_makes_abe_channel_abd_admissible(self):
+        model = ABDModel(delay_bound=4.0)
+        assert model.admits_delay(TruncatedDelay(ExponentialDelay(1.0), cap=4.0))
+
+    def test_max_delay_adversary_is_admissible(self):
+        model = ABDModel(delay_bound=2.0)
+        assert model.admits_delay(MaxDelayAdversary(UniformDelay(0.0, 2.0)))
+
+    def test_rejection_message_mentions_unboundedness(self):
+        model = ABDModel(delay_bound=2.0)
+        with pytest.raises(ModelValidationError, match="unbounded"):
+            model.validate_delay(ExponentialDelay(1.0))
+
+    def test_as_abe_inclusion(self):
+        abd = ABDModel(delay_bound=2.0, s_low=0.5, s_high=1.5, processing_bound=0.1)
+        abe = abd.as_abe()
+        assert isinstance(abe, ABEModel)
+        assert abe.delta == 2.0
+        assert abe.gamma == 0.1
+        # Everything ABD admits, the derived ABE model admits too.
+        for delay in (ConstantDelay(1.0), UniformDelay(0.5, 2.0)):
+            assert abd.admits_delay(delay)
+            assert abe.admits_delay(delay)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ABDModel(delay_bound=0.0)
+        with pytest.raises(ValueError):
+            ABDModel(delay_bound=1.0, s_low=2.0, s_high=1.0)
+        with pytest.raises(ValueError):
+            ABDModel(delay_bound=1.0, processing_bound=-0.1)
+
+
+class TestSynchronousAndAsynchronous:
+    def test_synchronous_admits_only_unit_round_delay(self):
+        model = SynchronousModel()
+        assert model.admits_delay(ConstantDelay(1.0))
+        assert not model.admits_delay(ConstantDelay(2.0))
+        assert not model.admits_delay(UniformDelay(0.5, 1.0))
+        assert not model.admits_delay(ExponentialDelay(1.0))
+
+    def test_synchronous_requires_perfect_clocks_and_instant_processing(self):
+        model = SynchronousModel()
+        assert model.admits_clock_bounds(1.0, 1.0)
+        assert not model.admits_clock_bounds(0.9, 1.1)
+        with pytest.raises(ModelValidationError):
+            model.validate_processing(ConstantDelay(0.5))
+
+    def test_asynchronous_admits_everything(self):
+        model = AsynchronousModel()
+        for delay in (ConstantDelay(1.0), ExponentialDelay(5.0), ParetoDelay(alpha=0.7)):
+            assert model.admits_delay(delay)
+        assert model.known_bounds() == {}
+
+
+class TestModelHierarchy:
+    def test_inclusion_order(self):
+        sync = SynchronousModel()
+        abd = ABDModel(delay_bound=1.0)
+        abe = ABEModel(expected_delay_bound=1.0)
+        asyn = AsynchronousModel()
+        # Weaker models admit everything stronger models admit.
+        assert abd.admits_model(sync)
+        assert abe.admits_model(abd)
+        assert asyn.admits_model(abe)
+        assert asyn.admits_model(sync)
+        # And not the other way around.
+        assert not sync.admits_model(abe)
+        assert not abd.admits_model(abe)
+        assert not abe.admits_model(asyn)
+
+    def test_every_abd_admissible_delay_is_abe_admissible(self):
+        abd = ABDModel(delay_bound=2.0)
+        abe = abd.as_abe()
+        candidates = [
+            ConstantDelay(0.5),
+            ConstantDelay(2.0),
+            UniformDelay(0.0, 2.0),
+            TruncatedDelay(ExponentialDelay(0.7), cap=2.0),
+        ]
+        for delay in candidates:
+            assert abd.admits_delay(delay)
+            assert abe.admits_delay(delay)

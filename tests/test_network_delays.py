@@ -1,0 +1,194 @@
+"""Unit tests for the delay-distribution hierarchy."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.network.delays import (
+    ConstantDelay,
+    EmpiricalDelay,
+    ErlangDelay,
+    ExponentialDelay,
+    HyperExponentialDelay,
+    LogNormalDelay,
+    MixtureDelay,
+    ParetoDelay,
+    ShiftedExponentialDelay,
+    TruncatedDelay,
+    UniformDelay,
+    WeibullDelay,
+)
+
+SAMPLES = 20_000
+
+
+def empirical_mean(dist, seed=1, count=SAMPLES):
+    rng = random.Random(seed)
+    return sum(dist.sample(rng) for _ in range(count)) / count
+
+
+class TestBoundedDistributions:
+    def test_constant_delay(self, rng):
+        dist = ConstantDelay(2.5)
+        assert dist.sample(rng) == 2.5
+        assert dist.mean() == 2.5
+        assert dist.bound() == 2.5
+        assert dist.is_bounded()
+        assert dist.has_finite_mean()
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(-1.0)
+
+    def test_uniform_delay_range_and_mean(self, rng):
+        dist = UniformDelay(1.0, 3.0)
+        samples = dist.sample_many(rng, 5000)
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        assert dist.mean() == pytest.approx(2.0)
+        assert dist.bound() == 3.0
+        assert empirical_mean(dist) == pytest.approx(2.0, rel=0.05)
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformDelay(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            UniformDelay(3.0, 2.0)
+
+    def test_empirical_delay_resamples_observations(self, rng):
+        dist = EmpiricalDelay([1.0, 2.0, 3.0])
+        assert dist.mean() == pytest.approx(2.0)
+        assert dist.bound() == 3.0
+        assert all(dist.sample(rng) in (1.0, 2.0, 3.0) for _ in range(100))
+
+    def test_empirical_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalDelay([])
+        with pytest.raises(ValueError):
+            EmpiricalDelay([1.0, -0.5])
+
+
+class TestUnboundedFiniteMean:
+    """The ABE sweet spot: no hard bound, finite expectation."""
+
+    @pytest.mark.parametrize(
+        "dist,expected_mean",
+        [
+            (ExponentialDelay(mean=1.5), 1.5),
+            (ShiftedExponentialDelay(offset=0.5, exp_mean=1.0), 1.5),
+            (ErlangDelay(shape=3, stage_mean=0.5), 1.5),
+            (ParetoDelay(alpha=3.0, scale=1.0), 1.5),
+            (LogNormalDelay(mean=1.5, sigma=1.0), 1.5),
+            (WeibullDelay(shape=1.0, scale=1.5), 1.5),
+            (HyperExponentialDelay([0.5, 0.5], [1.0, 2.0]), 1.5),
+        ],
+    )
+    def test_declared_mean_matches_empirical(self, dist, expected_mean):
+        assert dist.mean() == pytest.approx(expected_mean, rel=1e-9)
+        assert not dist.is_bounded()
+        assert dist.has_finite_mean()
+        assert empirical_mean(dist) == pytest.approx(expected_mean, rel=0.08)
+
+    def test_samples_are_nonnegative_and_finite(self, rng):
+        for dist in (
+            ExponentialDelay(1.0),
+            ParetoDelay(alpha=2.5),
+            LogNormalDelay(1.0, 0.5),
+            WeibullDelay(0.7, 1.0),
+        ):
+            for value in dist.sample_many(rng, 1000):
+                assert value >= 0.0
+                assert math.isfinite(value)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            ExponentialDelay(0.0)
+        with pytest.raises(ValueError):
+            ErlangDelay(0, 1.0)
+        with pytest.raises(ValueError):
+            ShiftedExponentialDelay(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            LogNormalDelay(1.0, 0.0)
+        with pytest.raises(ValueError):
+            WeibullDelay(0.0, 1.0)
+
+
+class TestHeavyTails:
+    def test_pareto_infinite_mean_below_alpha_one(self):
+        dist = ParetoDelay(alpha=0.9, scale=1.0)
+        assert math.isinf(dist.mean())
+        assert not dist.has_finite_mean()
+
+    def test_pareto_boundary_alpha_exactly_one(self):
+        assert math.isinf(ParetoDelay(alpha=1.0, scale=1.0).mean())
+
+    def test_pareto_samples_respect_scale_minimum(self, rng):
+        dist = ParetoDelay(alpha=2.0, scale=3.0)
+        assert all(s >= 3.0 for s in dist.sample_many(rng, 1000))
+
+
+class TestCompositeDistributions:
+    def test_hyperexponential_probability_validation(self):
+        with pytest.raises(ValueError):
+            HyperExponentialDelay([0.6, 0.6], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            HyperExponentialDelay([], [])
+        with pytest.raises(ValueError):
+            HyperExponentialDelay([1.0], [0.0])
+
+    def test_mixture_mean_is_weighted_average(self):
+        mixture = MixtureDelay([(1.0, ConstantDelay(1.0)), (3.0, ConstantDelay(2.0))])
+        assert mixture.mean() == pytest.approx(0.25 * 1.0 + 0.75 * 2.0)
+
+    def test_mixture_bound_is_max_of_bounded_components(self):
+        mixture = MixtureDelay([(1.0, ConstantDelay(1.0)), (1.0, UniformDelay(0.0, 5.0))])
+        assert mixture.bound() == 5.0
+
+    def test_mixture_unbounded_if_any_component_unbounded(self):
+        mixture = MixtureDelay([(1.0, ConstantDelay(1.0)), (1.0, ExponentialDelay(1.0))])
+        assert mixture.bound() is None
+
+    def test_mixture_with_infinite_mean_component(self):
+        mixture = MixtureDelay([(1.0, ParetoDelay(alpha=0.5)), (1.0, ConstantDelay(1.0))])
+        assert math.isinf(mixture.mean())
+
+    def test_mixture_validation(self):
+        with pytest.raises(ValueError):
+            MixtureDelay([])
+        with pytest.raises(ValueError):
+            MixtureDelay([(0.0, ConstantDelay(1.0)), (0.0, ConstantDelay(2.0))])
+
+    def test_truncated_turns_abe_into_abd(self, rng):
+        dist = TruncatedDelay(ExponentialDelay(mean=1.0), cap=4.0)
+        assert dist.is_bounded()
+        assert dist.bound() == 4.0
+        assert all(s <= 4.0 for s in dist.sample_many(rng, 5000))
+        assert dist.mean() <= 1.0 + 1e-12
+
+    def test_truncated_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedDelay(ExponentialDelay(1.0), cap=0.0)
+
+
+class TestHelpers:
+    def test_sample_many_length_and_validation(self, rng):
+        dist = ExponentialDelay(1.0)
+        assert len(dist.sample_many(rng, 7)) == 7
+        with pytest.raises(ValueError):
+            dist.sample_many(rng, -1)
+
+    def test_empirical_mean_helper(self, rng):
+        dist = ConstantDelay(2.0)
+        assert dist.empirical_mean(rng, 100) == pytest.approx(2.0)
+
+    def test_describe_is_repr_by_default(self):
+        dist = ExponentialDelay(1.0)
+        assert dist.describe() == repr(dist)
+
+    def test_distribution_objects_are_stateless_across_rngs(self):
+        dist = ExponentialDelay(mean=2.0)
+        a = dist.sample_many(random.Random(1), 50)
+        b = dist.sample_many(random.Random(1), 50)
+        assert a == b

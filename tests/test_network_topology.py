@@ -1,0 +1,142 @@
+"""Unit tests for topology builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.topology import (
+    Topology,
+    bidirectional_ring,
+    complete_graph,
+    grid_topology,
+    line_topology,
+    random_connected,
+    star_topology,
+    tree_topology,
+    unidirectional_ring,
+)
+
+
+class TestTopologyCore:
+    def test_edge_validation(self):
+        with pytest.raises(ValueError):
+            Topology(n=2, edges=[(0, 2)])
+        with pytest.raises(ValueError):
+            Topology(n=2, edges=[(0, 0)])
+        with pytest.raises(ValueError):
+            Topology(n=0, edges=[])
+
+    def test_successor_and_predecessor_maps(self):
+        topo = Topology(n=3, edges=[(0, 1), (1, 2), (2, 0)])
+        assert topo.successors(0) == [1]
+        assert topo.predecessors(0) == [2]
+        assert topo.out_degree(1) == 1
+        assert topo.in_degree(1) == 1
+        assert topo.edge_count == 3
+
+    def test_to_networkx_roundtrip(self):
+        topo = unidirectional_ring(5)
+        graph = topo.to_networkx()
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 5
+
+
+class TestRings:
+    def test_unidirectional_ring_structure(self):
+        topo = unidirectional_ring(6)
+        assert topo.n == 6
+        assert topo.edge_count == 6
+        for node in range(6):
+            assert topo.out_degree(node) == 1
+            assert topo.in_degree(node) == 1
+            assert topo.successors(node) == [(node + 1) % 6]
+        assert topo.is_strongly_connected()
+
+    def test_unidirectional_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            unidirectional_ring(1)
+
+    def test_bidirectional_ring_structure(self):
+        topo = bidirectional_ring(5)
+        assert topo.edge_count == 10
+        for node in range(5):
+            assert set(topo.successors(node)) == {(node + 1) % 5, (node - 1) % 5}
+        assert topo.is_strongly_connected()
+
+    def test_bidirectional_ring_port_convention(self):
+        # Franklin's algorithm relies on port 0 = clockwise, port 1 = counter.
+        topo = bidirectional_ring(4)
+        for node in range(4):
+            assert topo.successors(node)[0] == (node + 1) % 4
+            assert topo.successors(node)[1] == (node - 1) % 4
+
+
+class TestOtherShapes:
+    def test_line_topology(self):
+        topo = line_topology(4)
+        assert topo.edge_count == 6
+        assert topo.out_degree(0) == 1
+        assert topo.out_degree(1) == 2
+        assert topo.is_strongly_connected()
+
+    def test_star_topology(self):
+        topo = star_topology(5, centre=0)
+        assert topo.out_degree(0) == 4
+        assert all(topo.out_degree(i) == 1 for i in range(1, 5))
+        assert topo.is_strongly_connected()
+        with pytest.raises(ValueError):
+            star_topology(5, centre=9)
+
+    def test_complete_graph(self):
+        topo = complete_graph(4)
+        assert topo.edge_count == 12
+        assert all(topo.out_degree(i) == 3 for i in range(4))
+
+    def test_tree_topology(self):
+        topo = tree_topology(7, branching=2)
+        assert topo.edge_count == 12  # 6 undirected links
+        assert topo.is_strongly_connected()
+        assert set(topo.successors(0)) == {1, 2}
+
+    def test_grid_topology(self):
+        topo = grid_topology(2, 3)
+        assert topo.n == 6
+        assert topo.is_strongly_connected()
+        # Corner has 2 neighbours, middle edge nodes have 3.
+        assert topo.out_degree(0) == 2
+        assert topo.out_degree(1) == 3
+
+    def test_torus_wraps(self):
+        torus = grid_topology(3, 3, wrap=True)
+        assert all(torus.out_degree(i) == 4 for i in range(9))
+
+    def test_invalid_sizes(self):
+        for builder in (line_topology, star_topology, complete_graph, tree_topology):
+            with pytest.raises(ValueError):
+                builder(1)
+        with pytest.raises(ValueError):
+            grid_topology(1, 1)
+
+
+class TestRandomGraphs:
+    def test_random_connected_is_connected_and_bidirectional(self):
+        topo = random_connected(12, edge_probability=0.3, seed=5)
+        assert topo.n == 12
+        assert topo.is_strongly_connected()
+        edge_set = set(topo.edges)
+        assert all((v, u) in edge_set for (u, v) in edge_set)
+
+    def test_random_connected_reproducible(self):
+        a = random_connected(10, 0.3, seed=7)
+        b = random_connected(10, 0.3, seed=7)
+        assert a.edges == b.edges
+
+    def test_random_connected_sparse_fallback_still_connected(self):
+        topo = random_connected(10, edge_probability=0.01, seed=3)
+        assert topo.is_strongly_connected()
+
+    def test_random_connected_validation(self):
+        with pytest.raises(ValueError):
+            random_connected(1, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            random_connected(5, 1.5, seed=0)

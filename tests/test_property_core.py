@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for the election algorithm and clocks.
+
+The headline properties:
+
+* **Safety + liveness of the election** for arbitrary ring sizes, activation
+  parameters, seeds and delay means: exactly one leader, no hop-counter
+  overflow, all other nodes idle or passive.
+* **Clock sanity** for arbitrary bounds and drift settings: local time is
+  monotone and respects Definition 1(2).
+* **Activation schedule** algebra: the adaptive schedule equals the
+  complement of the idle-probability product, which is the identity the
+  constant-pressure argument rests on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.activation import AdaptiveActivation
+from repro.core.analysis import combined_idle_probability, wakeup_pressure
+from repro.core.election import NodeState
+from repro.core.runner import build_election_network, run_election, run_election_on_network
+from repro.core.verification import verify_election
+from repro.network.delays import ExponentialDelay
+from repro.sim.clock import LocalClock, RandomWalkDrift
+
+
+@given(
+    n=st.integers(min_value=2, max_value=24),
+    a0=st.floats(min_value=0.001, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    delay_mean=st.floats(min_value=0.1, max_value=3.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_election_safety_and_liveness(n, a0, seed, delay_mean):
+    network, status = build_election_network(
+        n, a0=a0, delay=ExponentialDelay(mean=delay_mean), seed=seed
+    )
+    result = run_election_on_network(network, status, a0=a0)
+    assert result.elected
+    assert result.leaders_elected == 1
+    assert result.hop_overflows == 0
+    report = verify_election(network, result, strict=False)
+    assert report.ok, report.violations
+    leaders = [p for p in network.programs() if p.state is NodeState.LEADER]
+    assert len(leaders) == 1
+    for program in network.programs():
+        if program is not leaders[0]:
+            assert program.state in (NodeState.IDLE, NodeState.PASSIVE)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    s_low=st.floats(min_value=0.25, max_value=1.0),
+    ratio=st.floats(min_value=1.0, max_value=4.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_election_correct_under_arbitrary_clock_bounds(n, seed, s_low, ratio):
+    result = run_election(
+        n,
+        a0=0.05,
+        seed=seed,
+        clock_bounds=(s_low, s_low * ratio),
+        clock_drift_factory=lambda uid: RandomWalkDrift(
+            initial_rate=s_low * (1 + ratio) / 2.0, step=0.1
+        ),
+    )
+    assert result.elected
+    assert result.leaders_elected == 1
+
+
+@given(
+    a0=st.floats(min_value=1e-4, max_value=0.99),
+    ds=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=32),
+)
+@settings(max_examples=200, deadline=None)
+def test_wakeup_pressure_identity(a0, ds):
+    # P[someone wakes] = 1 - prod (1 - p_i) with p_i = 1 - (1 - a0)^d_i.
+    schedule = AdaptiveActivation(a0)
+    product = 1.0
+    for d in ds:
+        product *= 1.0 - schedule.probability(d)
+    assert abs(product - combined_idle_probability(a0, ds)) < 1e-9
+    assert abs(wakeup_pressure(a0, ds) - (1.0 - product)) < 1e-9
+
+
+@given(
+    a0=st.floats(min_value=1e-4, max_value=0.99),
+    d=st.integers(min_value=1, max_value=128),
+)
+@settings(max_examples=200, deadline=None)
+def test_adaptive_probability_bounds(a0, d):
+    p = AdaptiveActivation(a0).probability(d)
+    assert 0.0 < p <= 1.0
+    assert p >= a0 - 1e-12  # never below the base parameter
+
+
+@given(
+    s_low=st.floats(min_value=0.1, max_value=2.0),
+    ratio=st.floats(min_value=1.0, max_value=5.0),
+    step=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    horizon=st.floats(min_value=1.0, max_value=200.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_clock_monotone_and_within_bounds(s_low, ratio, step, seed, horizon):
+    s_high = s_low * ratio
+    clock = LocalClock(
+        s_low=s_low,
+        s_high=s_high,
+        drift_model=RandomWalkDrift(initial_rate=(s_low + s_high) / 2.0, step=step),
+        rng=random.Random(seed),
+    )
+    clock.verify_bounds(0.0, horizon)
+    previous = 0.0
+    for index in range(1, 21):
+        t = horizon * index / 20.0
+        current = clock.local_time(t)
+        assert current >= previous - 1e-12
+        previous = current

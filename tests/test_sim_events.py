@@ -1,0 +1,75 @@
+"""Unit tests for event objects and handles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import Event, EventHandle, EventKind, make_event, next_sequence
+
+
+class TestEventOrdering:
+    def test_time_dominates_ordering(self):
+        early = make_event(1.0, lambda: None)
+        late = make_event(2.0, lambda: None)
+        assert early < late
+
+    def test_priority_breaks_time_ties(self):
+        low = make_event(1.0, lambda: None, priority=5)
+        high = make_event(1.0, lambda: None, priority=0)
+        assert high < low
+
+    def test_sequence_breaks_remaining_ties(self):
+        first = make_event(1.0, lambda: None)
+        second = make_event(1.0, lambda: None)
+        assert first < second
+        assert first.sequence < second.sequence
+
+    def test_sequence_counter_is_monotone(self):
+        values = [next_sequence() for _ in range(10)]
+        assert values == sorted(values)
+        assert len(set(values)) == 10
+
+
+class TestEventFiring:
+    def test_fire_invokes_callback(self):
+        fired = []
+        event = make_event(0.0, lambda: fired.append(True))
+        event.fire()
+        assert fired == [True]
+
+    def test_cancelled_event_does_not_invoke_callback(self):
+        fired = []
+        event = make_event(0.0, lambda: fired.append(True))
+        event.cancelled = True
+        event.fire()
+        assert fired == []
+
+
+class TestEventHandle:
+    def test_handle_exposes_metadata(self):
+        event = make_event(3.5, lambda: None, kind=EventKind.TIMER, payload={"x": 1})
+        handle = EventHandle(event)
+        assert handle.time == 3.5
+        assert handle.kind is EventKind.TIMER
+        assert handle.payload == {"x": 1}
+        assert not handle.cancelled
+
+    def test_cancel_marks_event(self):
+        event = make_event(1.0, lambda: None)
+        handle = EventHandle(event)
+        assert handle.cancel()
+        assert event.cancelled
+
+    def test_event_kind_str(self):
+        assert str(EventKind.MESSAGE_DELIVERY) == "message-delivery"
+
+
+class TestEventValidation:
+    def test_default_kind_is_generic(self):
+        event = make_event(0.0, lambda: None)
+        assert event.kind is EventKind.GENERIC
+
+    def test_dataclass_comparison_ignores_callback(self):
+        a = Event(time=1.0, priority=0, sequence=1, callback=lambda: None)
+        b = Event(time=1.0, priority=0, sequence=2, callback=lambda: 42)
+        assert a < b

@@ -1,0 +1,154 @@
+"""Unit tests for metric collection and structured tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.monitor import Counter, MetricsCollector, TimeSeries
+from repro.sim.trace import TraceEvent, Tracer
+
+
+class TestCounter:
+    def test_increment_defaults_to_one(self):
+        counter = Counter("messages")
+        counter.increment()
+        counter.increment(2.5)
+        assert counter.value == 3.5
+        assert int(counter) == 3
+        assert float(counter) == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("messages")
+        with pytest.raises(ValueError):
+            counter.increment(-1.0)
+
+
+class TestTimeSeries:
+    def test_record_and_read_back(self):
+        series = TimeSeries("active")
+        series.record(0.0, 3)
+        series.record(1.5, 2)
+        assert series.times() == [0.0, 1.5]
+        assert series.values() == [3, 2]
+        assert series.last() == (1.5, 2)
+        assert len(series) == 2
+
+    def test_out_of_order_samples_rejected(self):
+        series = TimeSeries("active")
+        series.record(2.0, 1)
+        with pytest.raises(ValueError):
+            series.record(1.0, 1)
+
+    def test_value_at_uses_step_interpolation(self):
+        series = TimeSeries("active")
+        series.record(0.0, 10)
+        series.record(5.0, 20)
+        assert series.value_at(-1.0) is None
+        assert series.value_at(0.0) == 10
+        assert series.value_at(4.99) == 10
+        assert series.value_at(5.0) == 20
+        assert series.value_at(100.0) == 20
+
+
+class TestMetricsCollector:
+    def test_counters_created_on_demand(self):
+        metrics = MetricsCollector()
+        metrics.increment("sends")
+        metrics.increment("sends", 2)
+        assert metrics.count("sends") == 3
+        assert metrics.count("never-touched") == 0
+
+    def test_counters_snapshot(self):
+        metrics = MetricsCollector()
+        metrics.increment("a")
+        metrics.increment("b", 4)
+        assert metrics.counters() == {"a": 1, "b": 4}
+
+    def test_series_shorthand(self):
+        metrics = MetricsCollector()
+        metrics.record("queue", 0.0, 1)
+        metrics.record("queue", 2.0, 3)
+        assert metrics.series("queue").values() == [1, 3]
+        assert "queue" in metrics.all_series()
+
+    def test_marks(self):
+        metrics = MetricsCollector()
+        metrics.mark("leader", 12.5)
+        assert metrics.mark_time("leader") == 12.5
+        assert metrics.mark_time("missing") is None
+        assert metrics.marks() == {"leader": 12.5}
+
+    def test_merge_counters(self):
+        a = MetricsCollector()
+        b = MetricsCollector()
+        a.increment("x", 2)
+        b.increment("x", 3)
+        b.increment("y", 1)
+        a.merge_counters_from(b)
+        assert a.count("x") == 5
+        assert a.count("y") == 1
+
+    def test_summary_combines_counters_and_marks(self):
+        metrics = MetricsCollector()
+        metrics.increment("sends", 7)
+        metrics.mark("done", 3.0)
+        summary = metrics.summary()
+        assert summary["sends"] == 7
+        assert summary["mark:done"] == 3.0
+
+
+class TestTracer:
+    def test_record_and_filter(self):
+        tracer = Tracer()
+        tracer.record(0.0, "send", 1, to=2)
+        tracer.record(1.0, "deliver", 2, sender=1)
+        tracer.record(2.0, "send", 2, to=3)
+        assert len(tracer) == 3
+        assert tracer.count("send") == 2
+        assert [e.subject for e in tracer.filter(category="send")] == [1, 2]
+        assert tracer.filter(subject=2, category="deliver")[0].details["sender"] == 1
+        assert tracer.filter(predicate=lambda e: e.time > 0.5)[-1].category == "send"
+
+    def test_first_and_last(self):
+        tracer = Tracer()
+        tracer.record(0.0, "state", 1, state="idle")
+        tracer.record(5.0, "state", 1, state="leader")
+        assert tracer.first("state").details["state"] == "idle"
+        assert tracer.last("state").details["state"] == "leader"
+        assert tracer.first("missing") is None
+        assert tracer.last("missing") is None
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(0.0, "send", 1)
+        assert len(tracer) == 0
+
+    def test_max_events_limit(self):
+        tracer = Tracer(max_events=2)
+        for index in range(5):
+            tracer.record(float(index), "send", index)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_subjects_in_first_appearance_order(self):
+        tracer = Tracer()
+        tracer.record(0.0, "send", "b")
+        tracer.record(1.0, "send", "a")
+        tracer.record(2.0, "send", "b")
+        assert tracer.subjects() == ["b", "a"]
+
+    def test_to_dicts_and_describe(self):
+        tracer = Tracer()
+        tracer.record(1.0, "decide", 3, hop=8)
+        rows = tracer.to_dicts()
+        assert rows == [{"time": 1.0, "category": "decide", "subject": 3, "hop": 8}]
+        text = tracer.describe()
+        assert "decide" in text and "hop=8" in text
+        assert "more events" not in tracer.describe(limit=5)
+        tracer.record(2.0, "decide", 4)
+        assert "more events" in tracer.describe(limit=1)
+
+    def test_trace_event_describe_format(self):
+        event = TraceEvent(time=1.5, category="send", subject=7, details={"to": 8})
+        assert "send" in event.describe()
+        assert "to=8" in event.describe()

@@ -1,0 +1,87 @@
+"""Unit tests for reproducible named random streams."""
+
+from __future__ import annotations
+
+from repro.sim.rng import RandomSource, derive_seed, fork_seed
+
+import pytest
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "alpha") == derive_seed(42, "alpha")
+
+    def test_different_names_differ(self):
+        assert derive_seed(42, "alpha") != derive_seed(42, "beta")
+
+    def test_different_master_seeds_differ(self):
+        assert derive_seed(1, "alpha") != derive_seed(2, "alpha")
+
+    def test_result_fits_63_bits_and_nonnegative(self):
+        for name in ("a", "b", "channel/17", "node/3/coin"):
+            seed = derive_seed(123456789, name)
+            assert 0 <= seed < 2**63
+
+    def test_fork_seed_varies_by_trial(self):
+        assert fork_seed(7, 0) != fork_seed(7, 1)
+        assert fork_seed(7, 0, salt="x") != fork_seed(7, 0, salt="y")
+
+
+class TestRandomSource:
+    def test_same_name_same_stream_object(self):
+        source = RandomSource(5)
+        assert source.stream("coin") is source.stream("coin")
+
+    def test_reproducible_across_instances(self):
+        a = RandomSource(5).stream("coin").random()
+        b = RandomSource(5).stream("coin").random()
+        assert a == b
+
+    def test_independent_of_creation_order(self):
+        source_a = RandomSource(5)
+        source_a.stream("first")
+        value_a = source_a.stream("second").random()
+        source_b = RandomSource(5)
+        value_b = source_b.stream("second").random()
+        assert value_a == value_b
+
+    def test_different_names_give_different_values(self):
+        source = RandomSource(5)
+        assert source.stream("a").random() != source.stream("b").random()
+
+    def test_namespace_separates_streams(self):
+        base = RandomSource(5)
+        child = base.child("trial1")
+        assert base.stream("coin").random() != child.stream("coin").random()
+
+    def test_child_namespaces_nest(self):
+        source = RandomSource(5, namespace="outer")
+        child = source.child("inner")
+        assert child.namespace == "outer/inner"
+
+    def test_spawn_trial_sources(self):
+        source = RandomSource(5)
+        trials = list(source.spawn_trial_sources(3))
+        values = [t.stream("x").random() for t in trials]
+        assert len(set(values)) == 3
+
+    def test_numpy_stream_reproducible(self):
+        a = RandomSource(5).numpy_stream("gauss").normal()
+        b = RandomSource(5).numpy_stream("gauss").normal()
+        assert a == b
+
+    def test_numpy_and_python_streams_are_distinct(self):
+        source = RandomSource(5)
+        python_value = source.stream("x").random()
+        numpy_value = float(source.numpy_stream("x").random())
+        assert python_value != numpy_value
+
+    def test_known_streams_lists_qualified_names(self):
+        source = RandomSource(5, namespace="ns")
+        source.stream("a")
+        source.stream("b")
+        assert set(source.known_streams()) == {"ns/a", "ns/b"}
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomSource("seed")  # type: ignore[arg-type]

@@ -1,0 +1,141 @@
+"""Unit tests for estimators, confidence intervals and running aggregates."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.stats.confidence import confidence_interval, relative_half_width
+from repro.stats.estimators import (
+    mean,
+    sample_variance,
+    standard_error,
+    summarise,
+)
+from repro.stats.sequences import RunningMean, RunningStats
+
+
+class TestEstimators:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_sample_variance_matches_statistics_module(self):
+        data = [1.5, 2.7, 3.1, 0.4, 5.9]
+        assert sample_variance(data) == pytest.approx(statistics.variance(data))
+
+    def test_singleton_variance_is_zero(self):
+        assert sample_variance([4.2]) == 0.0
+
+    def test_standard_error(self):
+        data = [2.0, 4.0, 6.0, 8.0]
+        assert standard_error(data) == pytest.approx(
+            math.sqrt(statistics.variance(data) / 4)
+        )
+
+    def test_summarise_fields(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        summary = summarise(data)
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.std == pytest.approx(math.sqrt(summary.variance))
+        assert summary.sem == pytest.approx(summary.std / 2.0)
+        assert "mean=2.5" in str(summary)
+
+    def test_summarise_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarise([])
+
+
+class TestConfidenceIntervals:
+    def test_interval_contains_true_mean_for_gaussian_samples(self):
+        rng = random.Random(5)
+        misses = 0
+        for _ in range(50):
+            data = [rng.gauss(10.0, 2.0) for _ in range(40)]
+            interval = confidence_interval(data, confidence=0.95)
+            if not interval.contains(10.0):
+                misses += 1
+        # 95% interval: expect about 2.5 misses in 50; allow generous slack.
+        assert misses <= 8
+
+    def test_interval_is_symmetric_around_estimate(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        interval = confidence_interval(data)
+        assert interval.estimate - interval.lower == pytest.approx(
+            interval.upper - interval.estimate
+        )
+        assert interval.half_width > 0
+
+    def test_singleton_degenerates_to_point(self):
+        interval = confidence_interval([3.5])
+        assert interval.lower == interval.upper == interval.estimate == 3.5
+
+    def test_higher_confidence_wider_interval(self):
+        rng = random.Random(1)
+        data = [rng.gauss(0, 1) for _ in range(30)]
+        narrow = confidence_interval(data, confidence=0.90)
+        wide = confidence_interval(data, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_more_samples_narrower_interval(self):
+        rng = random.Random(2)
+        small = confidence_interval([rng.gauss(0, 1) for _ in range(10)])
+        large = confidence_interval([rng.gauss(0, 1) for _ in range(1000)])
+        assert large.half_width < small.half_width
+
+    def test_relative_half_width(self):
+        data = [10.0, 10.5, 9.5, 10.2, 9.8]
+        rel = relative_half_width(data)
+        assert 0 < rel < 0.1
+
+    def test_relative_half_width_zero_mean_is_infinite(self):
+        assert relative_half_width([0.0, 0.0, 0.0]) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+        with pytest.raises(ValueError):
+            confidence_interval([1.0], confidence=1.5)
+
+    def test_str_rendering(self):
+        text = str(confidence_interval([1.0, 2.0, 3.0]))
+        assert "95%" in text
+
+
+class TestRunningAggregates:
+    def test_running_mean_matches_batch_mean(self):
+        data = [random.Random(3).uniform(0, 10) for _ in range(500)]
+        running = RunningMean()
+        for value in data:
+            running.add(value)
+        assert running.mean == pytest.approx(mean(data))
+        assert running.count == 500
+
+    def test_running_stats_match_batch_statistics(self):
+        data = [random.Random(4).gauss(5, 2) for _ in range(500)]
+        running = RunningStats()
+        for value in data:
+            running.add(value)
+        assert running.mean == pytest.approx(mean(data))
+        assert running.variance == pytest.approx(sample_variance(data), rel=1e-9)
+        assert running.minimum == min(data)
+        assert running.maximum == max(data)
+
+    def test_running_stats_few_samples(self):
+        stats = RunningStats()
+        assert stats.variance == 0.0
+        stats.add(1.0)
+        assert stats.variance == 0.0
+        assert stats.std == 0.0
+
+    def test_empty_running_mean_is_zero(self):
+        assert RunningMean().mean == 0.0

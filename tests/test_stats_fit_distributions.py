@@ -1,0 +1,107 @@
+"""Unit tests for growth-order fitting and empirical distribution helpers."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.stats.complexity_fit import (
+    GROWTH_MODELS,
+    best_growth_order,
+    fit_growth_order,
+)
+from repro.stats.distributions import ecdf, empirical_quantile, tail_mass
+
+
+class TestGrowthFit:
+    SIZES = [8, 16, 32, 64, 128, 256]
+
+    def test_recovers_linear_growth(self):
+        costs = [3.0 * n for n in self.SIZES]
+        fits = best_growth_order(self.SIZES, costs)
+        assert next(iter(fits)) == "n"
+        assert fits["n"].coefficient == pytest.approx(3.0)
+        assert fits["n"].relative_error < 1e-9
+
+    def test_recovers_nlogn_growth(self):
+        costs = [2.0 * n * math.log2(n) for n in self.SIZES]
+        assert next(iter(best_growth_order(self.SIZES, costs))) == "n log n"
+
+    def test_recovers_quadratic_growth(self):
+        costs = [0.5 * n * n for n in self.SIZES]
+        assert next(iter(best_growth_order(self.SIZES, costs))) == "n^2"
+
+    def test_robust_to_moderate_noise(self):
+        rng = random.Random(7)
+        costs = [5.0 * n * (1.0 + rng.uniform(-0.15, 0.15)) for n in self.SIZES]
+        assert next(iter(best_growth_order(self.SIZES, costs))) == "n"
+
+    def test_prediction_uses_fitted_coefficient(self):
+        fit = fit_growth_order([2, 4, 8], [4.0, 8.0, 16.0], "n")
+        assert fit.predict(16) == pytest.approx(32.0)
+
+    def test_constant_and_log_models_available(self):
+        assert "constant" in GROWTH_MODELS
+        costs = [5.0, 5.0, 5.0]
+        fit = fit_growth_order([4, 8, 16], costs, "constant")
+        assert fit.coefficient == pytest.approx(5.0)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            fit_growth_order([2, 4], [1.0, 2.0], "n^3")
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_growth_order([2], [1.0], "n")
+        with pytest.raises(ValueError):
+            fit_growth_order([2, 4], [1.0], "n")
+        with pytest.raises(ValueError):
+            fit_growth_order([1, 2], [1.0, 2.0], "n")
+
+    def test_best_growth_order_sorted_by_error(self):
+        costs = [2.0 * n for n in self.SIZES]
+        fits = best_growth_order(self.SIZES, costs)
+        errors = [fit.relative_error for fit in fits.values()]
+        assert errors == sorted(errors)
+
+
+class TestEmpiricalDistributions:
+    def test_ecdf_monotone_and_ends_at_one(self):
+        points = ecdf([3.0, 1.0, 2.0, 2.0])
+        values = [p for _, p in points]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+        # Ties are collapsed.
+        assert len(points) == 3
+
+    def test_quantiles(self):
+        data = list(range(1, 11))  # 1..10
+        assert empirical_quantile(data, 0.0) == 1
+        assert empirical_quantile(data, 0.5) == 5
+        assert empirical_quantile(data, 1.0) == 10
+
+    def test_tail_mass(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert tail_mass(data, 2.5) == pytest.approx(0.5)
+        assert tail_mass(data, 10.0) == 0.0
+
+    def test_tail_mass_matches_geometric_tail(self):
+        # Cross-check against the retransmission tail formula.
+        from repro.network.retransmission import GeometricRetransmissionDelay, tail_probability
+
+        rng = random.Random(8)
+        dist = GeometricRetransmissionDelay(0.4)
+        samples = dist.sample_many(rng, 30_000)
+        assert tail_mass(samples, 3.0) == pytest.approx(tail_probability(0.4, 3), abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+        with pytest.raises(ValueError):
+            empirical_quantile([], 0.5)
+        with pytest.raises(ValueError):
+            empirical_quantile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            tail_mass([], 1.0)

@@ -1,0 +1,246 @@
+"""Tests for the alpha, beta and ABD synchronizers and the Theorem 1 bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.synchronous import (
+    FloodingSync,
+    MaxComputationSync,
+    RoundCounterSync,
+    SynchronousExecutor,
+)
+from repro.network.delays import ExponentialDelay, UniformDelay
+from repro.network.topology import bidirectional_ring, grid_topology, random_connected
+from repro.synchronizers import (
+    AbdSynchronizerProgram,
+    AlphaSynchronizerProgram,
+    BetaSynchronizerProgram,
+    build_bfs_tree,
+    messages_per_round,
+    run_synchronized,
+    theorem1_lower_bound,
+    theorem1_satisfied,
+)
+from repro.synchronizers.lower_bound import summarise_runs
+
+N = 8
+ROUNDS = 6
+
+
+def max_factory(values):
+    return lambda uid: MaxComputationSync(values[uid], rounds_needed=ROUNDS)
+
+
+def ground_truth(topology, values):
+    return SynchronousExecutor(topology, max_factory(values)).run(max_rounds=ROUNDS + 1)
+
+
+def run_alpha(topology, values, delay=None, seed=1):
+    return run_synchronized(
+        topology,
+        max_factory(values),
+        lambda uid, p, tr, st: AlphaSynchronizerProgram(p, tr, st),
+        total_rounds=ROUNDS,
+        synchronizer_name="alpha",
+        delay=delay or ExponentialDelay(mean=1.0),
+        seed=seed,
+    )
+
+
+def run_beta(topology, values, delay=None, seed=1):
+    tree = build_bfs_tree(topology)
+    return run_synchronized(
+        topology,
+        max_factory(values),
+        lambda uid, p, tr, st: BetaSynchronizerProgram(p, tr, st),
+        total_rounds=ROUNDS,
+        synchronizer_name="beta",
+        delay=delay or ExponentialDelay(mean=1.0),
+        seed=seed,
+        knowledge_factory=lambda uid: tree[uid],
+    )
+
+
+def run_abd(topology, values, delay, bound=2.0, seed=1):
+    return run_synchronized(
+        topology,
+        max_factory(values),
+        lambda uid, p, tr, st: AbdSynchronizerProgram(p, tr, st, delay_bound=bound),
+        total_rounds=ROUNDS,
+        synchronizer_name="abd",
+        delay=delay,
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def ring_values():
+    return {uid: (uid * 29) % 97 for uid in range(N)}
+
+
+class TestAlphaSynchronizer:
+    def test_matches_synchronous_ground_truth_on_ring(self, ring_values):
+        topology = bidirectional_ring(N)
+        truth = ground_truth(topology, ring_values)
+        result = run_alpha(topology, ring_values)
+        assert result.completed
+        assert result.results == truth.results
+
+    def test_matches_ground_truth_on_random_graph(self):
+        topology = random_connected(10, 0.35, seed=9)
+        values = {uid: float((uid * 7) % 23) for uid in range(10)}
+        truth = ground_truth(topology, values)
+        result = run_alpha(topology, values, seed=4)
+        assert result.results == truth.results
+
+    def test_meets_theorem1_bound(self, ring_values):
+        topology = bidirectional_ring(N)
+        result = run_alpha(topology, ring_values)
+        assert theorem1_satisfied(result)
+        assert result.messages_per_round >= theorem1_lower_bound(N)
+
+    def test_reproducible(self, ring_values):
+        topology = bidirectional_ring(N)
+        a = run_alpha(topology, ring_values, seed=6)
+        b = run_alpha(topology, ring_values, seed=6)
+        assert a.total_messages == b.total_messages
+        assert a.elapsed_time == b.elapsed_time
+
+    def test_control_and_algorithm_traffic_accounted(self, ring_values):
+        topology = bidirectional_ring(N)
+        result = run_alpha(topology, ring_values)
+        assert result.algorithm_messages > 0
+        assert result.control_messages > 0
+        assert result.total_messages == result.algorithm_messages + result.control_messages
+
+    def test_rejects_unknown_payload(self, ring_values):
+        topology = bidirectional_ring(N)
+        tree_result = run_alpha(topology, ring_values)
+        assert tree_result.completed
+        from repro.synchronizers.base import SynchronizerStatus
+
+        program = AlphaSynchronizerProgram(
+            MaxComputationSync(1.0, rounds_needed=1), 1, SynchronizerStatus()
+        )
+        with pytest.raises(TypeError):
+            program.on_receive("garbage", 0)
+
+
+class TestBetaSynchronizer:
+    def test_matches_ground_truth(self, ring_values):
+        topology = bidirectional_ring(N)
+        truth = ground_truth(topology, ring_values)
+        result = run_beta(topology, ring_values)
+        assert result.completed
+        assert result.results == truth.results
+
+    def test_meets_theorem1_bound(self, ring_values):
+        topology = bidirectional_ring(N)
+        result = run_beta(topology, ring_values)
+        assert theorem1_satisfied(result)
+
+    def test_beta_uses_fewer_control_messages_than_alpha_on_dense_graphs(self):
+        topology = grid_topology(3, 3)
+        values = {uid: float(uid) for uid in range(topology.n)}
+        alpha = run_alpha(topology, values, seed=2)
+        beta = run_beta(topology, values, seed=2)
+        # Alpha floods per-neighbour safety; beta aggregates over the tree.
+        assert beta.control_messages < alpha.control_messages
+
+    def test_bfs_tree_structure(self):
+        topology = grid_topology(3, 3)
+        tree = build_bfs_tree(topology, root=0)
+        assert tree[0]["tree_parent"] is None
+        children_count = sum(len(info["tree_children"]) for info in tree.values())
+        assert children_count == topology.n - 1
+        for uid in range(1, topology.n):
+            assert tree[uid]["tree_parent"] is not None
+
+    def test_bfs_tree_invalid_root(self):
+        with pytest.raises(ValueError):
+            build_bfs_tree(bidirectional_ring(4), root=9)
+
+
+class TestAbdSynchronizer:
+    def test_correct_on_genuinely_bounded_delays(self, ring_values):
+        topology = bidirectional_ring(N)
+        truth = ground_truth(topology, ring_values)
+        result = run_abd(topology, ring_values, delay=UniformDelay(0.25, 2.0), bound=2.0)
+        assert result.completed
+        assert result.results == truth.results
+        assert result.late_messages == 0
+
+    def test_undercuts_theorem1_bound_with_sparse_client(self):
+        topology = bidirectional_ring(N)
+        rounds = 6
+
+        def flood_factory(uid):
+            return FloodingSync(is_initiator=(uid == 0), value=1, max_rounds=rounds)
+
+        result = run_synchronized(
+            topology,
+            flood_factory,
+            lambda uid, p, tr, st: AbdSynchronizerProgram(p, tr, st, delay_bound=2.0),
+            total_rounds=rounds,
+            synchronizer_name="abd",
+            delay=UniformDelay(0.25, 2.0),
+            seed=3,
+        )
+        assert result.messages_per_round < theorem1_lower_bound(N)
+        assert not theorem1_satisfied(result)
+
+    def test_unsound_on_abe_delays(self, ring_values):
+        topology = bidirectional_ring(N)
+        # Exponential delays with the same mean as the believed bound: the tail
+        # exceeds the bound regularly, producing late messages.
+        late_total = 0
+        for seed in range(5):
+            result = run_abd(
+                topology, ring_values, delay=ExponentialDelay(mean=1.5), bound=2.0, seed=seed
+            )
+            late_total += result.late_messages
+        assert late_total > 0
+
+    def test_round_length_scales_with_bound(self, ring_values):
+        topology = bidirectional_ring(N)
+        quick = run_abd(topology, ring_values, delay=UniformDelay(0.1, 1.0), bound=1.0, seed=2)
+        slow = run_abd(topology, ring_values, delay=UniformDelay(0.1, 1.0), bound=4.0, seed=2)
+        assert slow.elapsed_time > quick.elapsed_time
+
+    def test_parameter_validation(self):
+        from repro.synchronizers.base import SynchronizerStatus
+
+        with pytest.raises(ValueError):
+            AbdSynchronizerProgram(
+                RoundCounterSync(1), 1, SynchronizerStatus(), delay_bound=0.0
+            )
+        with pytest.raises(ValueError):
+            AbdSynchronizerProgram(
+                RoundCounterSync(1), 1, SynchronizerStatus(), delay_bound=1.0, safety_margin=-1.0
+            )
+
+
+class TestLowerBoundHelpers:
+    def test_bound_value(self):
+        assert theorem1_lower_bound(16) == 16
+        with pytest.raises(ValueError):
+            theorem1_lower_bound(0)
+
+    def test_messages_per_round_helper(self, ring_values):
+        topology = bidirectional_ring(N)
+        result = run_alpha(topology, ring_values)
+        assert messages_per_round(result) == result.messages_per_round
+
+    def test_summarise_runs_rows(self, ring_values):
+        topology = bidirectional_ring(N)
+        rows = summarise_runs([run_alpha(topology, ring_values)])
+        assert rows[0]["synchronizer"] == "alpha"
+        assert rows[0]["meets_theorem1"] is True
+        assert rows[0]["n"] == N
+
+    def test_total_rounds_validation(self):
+        from repro.synchronizers.base import SynchronizerProgram, SynchronizerStatus
+
+        with pytest.raises(ValueError):
+            AlphaSynchronizerProgram(RoundCounterSync(1), 0, SynchronizerStatus())
