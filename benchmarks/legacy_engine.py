@@ -1,0 +1,126 @@
+"""Faithful replica of the seed (pre-optimization) event engine.
+
+Kept so the engine microbenchmark and ``scripts/bench_report.py`` can measure
+the optimized :class:`repro.sim.engine.Simulator` against the exact code it
+replaced: an ``order=True`` dataclass event heap, a process-global sequence
+counter behind a helper function, a ``schedule -> schedule_at -> make_event``
+call chain, and a per-event listener loop.  Structure and call graph mirror
+the seed's ``sim/engine.py``/``sim/events.py`` so the comparison is honest.
+This module is a measurement baseline only -- nothing in the library imports
+it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+_legacy_sequence = itertools.count()
+
+
+def _next_sequence() -> int:
+    return next(_legacy_sequence)
+
+
+@dataclass(order=True)
+class LegacyEvent:
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    payload: Any = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def fire(self) -> None:
+        if not self.cancelled:
+            self.callback()
+
+
+class LegacyEventHandle:
+    __slots__ = ("_event",)
+
+    def __init__(self, event: LegacyEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> bool:
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True
+
+
+def _make_event(time: float, callback: Callable[[], None], priority: int = 0) -> LegacyEvent:
+    return LegacyEvent(
+        time=time, priority=priority, sequence=_next_sequence(), callback=callback
+    )
+
+
+class LegacySimulator:
+    """The seed scheduler: dataclass events on the heap, global sequencing."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now: float = float(start_time)
+        self._queue: List[LegacyEvent] = []
+        self._stopped: bool = False
+        self._events_processed: int = 0
+        self._events_scheduled: int = 0
+        self._listeners: List[Callable[[LegacyEvent], None]] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], *, priority: int = 0
+    ) -> LegacyEventHandle:
+        if not (delay == delay) or delay in (float("inf"), float("-inf")):
+            raise ValueError(f"delay must be finite, got {delay!r}")
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, priority=priority)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], *, priority: int = 0
+    ) -> LegacyEventHandle:
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} before current time {self._now}")
+        event = _make_event(time, callback, priority=priority)
+        heapq.heappush(self._queue, event)
+        self._events_scheduled += 1
+        return LegacyEventHandle(event)
+
+    def step(self) -> bool:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            for listener in self._listeners:
+                listener(event)
+            event.fire()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> float:
+        self._stopped = False
+        fired = 0
+        while self._queue and not self._stopped:
+            if max_events is not None and fired >= max_events:
+                break
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if self.step():
+                fired += 1
+        return self._now
+
+    def stop(self) -> None:
+        self._stopped = True

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Measure engine/sampling/trial throughput and emit ``BENCH_engine.json``.
+
+Usage::
+
+    python scripts/bench_report.py [--quick] [--output BENCH_engine.json]
+                                   [--workers N]
+
+Three measurements, all derived from the workloads the experiments actually
+run:
+
+``engine``
+    Events/sec of a self-scheduling callback chain on the optimized engine
+    and on the seed engine replica (``benchmarks/legacy_engine.py``), plus
+    the resulting speedup.
+``sampling``
+    Elections/sec with per-message delay sampling vs numpy-backed batch
+    sampling (``batch_sampling=True``).
+``trials``
+    Monte-Carlo election trials/sec serially and fanned across worker
+    processes via :class:`repro.experiments.parallel.ParallelTrialRunner`.
+
+``--quick`` shrinks every workload so the whole report takes a few seconds;
+CI runs it on every PR to keep a perf artifact trail.  Numbers are
+machine-dependent -- compare trajectories on the same hardware, not absolute
+values across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from legacy_engine import LegacySimulator  # noqa: E402
+
+from repro.core.runner import run_election  # noqa: E402
+from repro.experiments.parallel import ParallelTrialRunner  # noqa: E402
+from repro.experiments.runner import trial_seeds  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+
+from bench_engine_microbench import events_per_second  # noqa: E402
+
+
+def bench_engine(n_events: int, repeats: int) -> dict:
+    # Interleave the two engines so CPU frequency drift between measurement
+    # phases hits both equally.
+    optimized_runs = []
+    legacy_runs = []
+    for _ in range(repeats):
+        optimized_runs.append(events_per_second(Simulator, n_events))
+        legacy_runs.append(events_per_second(LegacySimulator, n_events))
+    optimized = max(optimized_runs)
+    legacy = max(legacy_runs)
+    return {
+        "events_per_sec": round(optimized),
+        "seed_engine_events_per_sec": round(legacy),
+        "speedup_vs_seed": round(optimized / legacy, 2),
+        "chain_events": n_events,
+    }
+
+
+def _elections_per_second(n: int, trials: int, batch_sampling: bool) -> float:
+    started = time.perf_counter()
+    for seed in trial_seeds(0, trials, label="bench"):
+        result = run_election(n, a0=0.3, seed=seed, batch_sampling=batch_sampling)
+        assert result.elected
+    elapsed = time.perf_counter() - started
+    return trials / elapsed
+
+
+def bench_sampling(n: int, trials: int) -> dict:
+    scalar = _elections_per_second(n, trials, batch_sampling=False)
+    batched = _elections_per_second(n, trials, batch_sampling=True)
+    return {
+        "ring_size": n,
+        "scalar_elections_per_sec": round(scalar, 2),
+        "batched_elections_per_sec": round(batched, 2),
+        "batched_speedup": round(batched / scalar, 2),
+    }
+
+
+def bench_trials(n: int, trials: int, workers: int) -> dict:
+    def run_one(seed: int):
+        return run_election(n, a0=0.3, seed=seed)
+
+    seeds = trial_seeds(0, trials, label="bench-par")
+
+    started = time.perf_counter()
+    serial = [run_one(seed) for seed in seeds]
+    serial_elapsed = time.perf_counter() - started
+
+    runner = ParallelTrialRunner(workers=workers)
+    started = time.perf_counter()
+    parallel = runner.map(run_one, seeds)
+    parallel_elapsed = time.perf_counter() - started
+
+    assert serial == parallel, "parallel trials diverged from serial results"
+    return {
+        "ring_size": n,
+        "trials": trials,
+        "workers": workers,
+        "serial_trials_per_sec": round(trials / serial_elapsed, 2),
+        "parallel_trials_per_sec": round(trials / parallel_elapsed, 2),
+        "parallel_speedup": round(serial_elapsed / parallel_elapsed, 2),
+        "results_bit_identical": True,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="shrunken CI-sized run")
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_engine.json"), help="output path"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="workers for the trial benchmark (0 = one per CPU, min 4 for scaling data)",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        chain_events, repeats = 30_000, 2
+        sampling_n, sampling_trials = 16, 10
+        trial_n, trial_count = 16, 12
+    else:
+        chain_events, repeats = 150_000, 3
+        sampling_n, sampling_trials = 32, 30
+        trial_n, trial_count = 32, 48
+    workers = args.workers if args.workers > 0 else max(4, os.cpu_count() or 1)
+
+    print("benchmarking engine ...", flush=True)
+    engine = bench_engine(chain_events, repeats)
+    print(
+        f"  {engine['events_per_sec']:,} events/sec "
+        f"({engine['speedup_vs_seed']}x vs seed engine)"
+    )
+    print("benchmarking delay sampling ...", flush=True)
+    sampling = bench_sampling(sampling_n, sampling_trials)
+    print(
+        f"  scalar {sampling['scalar_elections_per_sec']}/s, "
+        f"batched {sampling['batched_elections_per_sec']}/s "
+        f"({sampling['batched_speedup']}x)"
+    )
+    print(f"benchmarking trial fan-out (workers={workers}) ...", flush=True)
+    trials = bench_trials(trial_n, trial_count, workers)
+    print(
+        f"  serial {trials['serial_trials_per_sec']}/s, "
+        f"parallel {trials['parallel_trials_per_sec']}/s "
+        f"({trials['parallel_speedup']}x)"
+    )
+
+    report = {
+        "generated_by": "scripts/bench_report.py",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "engine": engine,
+        "sampling": sampling,
+        "trials": trials,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,37 +3,66 @@
 
 Usage::
 
-    python scripts/run_all_experiments.py [output_path]
+    python scripts/run_all_experiments.py [output_path] [--workers N]
 
 The output is the concatenation of every experiment's rendered tables and
-findings -- the source material for EXPERIMENTS.md.
+findings -- the source material for EXPERIMENTS.md.  ``--workers`` fans each
+experiment's Monte-Carlo trials across processes; because trials are pure
+functions of their derived seeds, the report is byte-identical for any worker
+count (only the wall-clock changes).
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
+import inspect
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.parallel import resolve_worker_count, worker_count_argument
 from repro.experiments.reporting import render_experiment
 
 
 def main() -> int:
-    output_path = sys.argv[1] if len(sys.argv) > 1 else "experiments_report.txt"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "output_path",
+        nargs="?",
+        default="experiments_report.txt",
+        help="where to write the concatenated report",
+    )
+    parser.add_argument(
+        "--workers",
+        type=worker_count_argument,
+        default=1,
+        help=(
+            "worker processes for Monte-Carlo trials (default 1 = serial; "
+            "0 = one per CPU; results are identical for any value)"
+        ),
+    )
+    args = parser.parse_args()
+    workers = resolve_worker_count(args.workers)
+
     sections = []
+    total_started = time.time()
     for experiment_id in sorted(ALL_EXPERIMENTS):
         module = ALL_EXPERIMENTS[experiment_id]
+        kwargs = {}
+        if "workers" in inspect.signature(module.run).parameters:
+            kwargs["workers"] = workers
         started = time.time()
         print(f"running {experiment_id} ({module.TITLE}) ...", flush=True)
-        result = module.run()
+        result = module.run(**kwargs)
         elapsed = time.time() - started
         sections.append(render_experiment(result))
         sections.append(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
         print(f"  done in {elapsed:.1f}s", flush=True)
+    total_elapsed = time.time() - total_started
     report = "\n".join(sections)
-    with open(output_path, "w", encoding="utf-8") as handle:
+    with open(args.output_path, "w", encoding="utf-8") as handle:
         handle.write(report)
-    print(f"report written to {output_path}")
+    print(f"report written to {args.output_path}")
+    print(f"total wall clock: {total_elapsed:.1f}s (workers={workers})")
     return 0
 
 

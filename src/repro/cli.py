@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.core.analysis import recommended_a0
 from repro.core.runner import run_election
 from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.parallel import resolve_worker_count, worker_count_argument
 from repro.experiments.reporting import render_experiment
 
 __all__ = ["main", "build_parser"]
@@ -61,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--seed", type=int, default=None, help="override the base seed"
     )
+    experiment.add_argument(
+        "--workers",
+        type=worker_count_argument,
+        default=None,
+        help=(
+            "worker processes for Monte-Carlo trials (default 1 = serial; "
+            "0 = one per CPU; results are identical for any value)"
+        ),
+    )
 
     subparsers.add_parser("list", help="list available experiments")
     return parser
@@ -95,6 +105,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
         kwargs["trials"] = args.trials
     if args.seed is not None and "base_seed" in supported:
         kwargs["base_seed"] = args.seed
+    if args.workers is not None and "workers" in supported:
+        kwargs["workers"] = resolve_worker_count(args.workers)
     result = module.run(**kwargs)
     print(render_experiment(result))
     return 0

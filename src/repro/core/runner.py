@@ -120,6 +120,7 @@ def build_election_network(
     enable_trace: bool = False,
     validate_model: bool = True,
     expected_delay_bound: Optional[float] = None,
+    batch_sampling: bool = False,
 ) -> tuple:
     """Construct the ring network and shared status for one election run.
 
@@ -143,6 +144,7 @@ def build_election_network(
         clock_drift_factory=clock_drift_factory,
         size_known=True,
         enable_trace=enable_trace,
+        batch_sampling=batch_sampling,
     )
 
     if validate_model:
@@ -217,6 +219,7 @@ def run_election(
     enable_trace: bool = False,
     validate_model: bool = True,
     expected_delay_bound: Optional[float] = None,
+    batch_sampling: bool = False,
     max_events: Optional[int] = None,
     max_time: Optional[float] = None,
 ) -> ElectionResult:
@@ -250,6 +253,7 @@ def run_election(
         enable_trace=enable_trace,
         validate_model=validate_model,
         expected_delay_bound=expected_delay_bound,
+        batch_sampling=batch_sampling,
     )
     return run_election_on_network(
         network, status, max_events=max_events, max_time=max_time, a0=a0

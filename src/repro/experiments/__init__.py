@@ -28,6 +28,7 @@ laptop-friendly.
 
 from repro.experiments.results import ExperimentResult, ResultTable
 from repro.experiments.runner import monte_carlo, trial_seeds
+from repro.experiments.parallel import ParallelTrialRunner, parallel_map
 from repro.experiments.reporting import format_table, render_experiment
 from repro.experiments import (
     e1_message_complexity,
@@ -60,6 +61,8 @@ __all__ = [
     "ResultTable",
     "monte_carlo",
     "trial_seeds",
+    "ParallelTrialRunner",
+    "parallel_map",
     "format_table",
     "render_experiment",
     "ALL_EXPERIMENTS",

@@ -37,6 +37,7 @@ def run(
     sizes: Sequence[int] = DEFAULT_SIZES,
     trials: int = 25,
     base_seed: int = 101,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Run the schedule ablation and return the A1 result."""
     table = ResultTable(
@@ -67,6 +68,7 @@ def run(
                 a0=a0,
                 schedule=schedule,
                 label=f"{label}-n{n}",
+                workers=workers,
             )
             elected = [r for r in results if r.elected]
             messages = confidence_interval([float(r.messages_total) for r in elected])

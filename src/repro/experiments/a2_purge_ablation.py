@@ -43,6 +43,7 @@ def run(
     sizes: Sequence[int] = DEFAULT_SIZES,
     trials: int = 12,
     base_seed: int = 202,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Run the purge ablation and return the A2 result."""
     table = ResultTable(
@@ -74,6 +75,7 @@ def run(
                 trials=trials,
                 base_seed=base_seed,
                 label=f"{variant}-n{n}",
+                workers=workers,
             )
             terminated = [o for o in outcomes if o.elected]
             message_counts = [float(o.messages_total) for o in outcomes]

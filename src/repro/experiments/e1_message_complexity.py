@@ -36,6 +36,7 @@ def run(
     sizes: Sequence[int] = DEFAULT_RING_SIZES,
     trials: int = DEFAULT_TRIALS,
     base_seed: int = 11,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Run the message-complexity sweep and return the E1 result."""
     table = ResultTable(
@@ -53,7 +54,7 @@ def run(
     sizes = list(sizes)
     means = []
     for n in sizes:
-        results = election_trials(n, trials, base_seed)
+        results = election_trials(n, trials, base_seed, workers=workers)
         elected = [r for r in results if r.elected]
         message_counts = [float(r.messages_total) for r in elected]
         interval = confidence_interval(message_counts)

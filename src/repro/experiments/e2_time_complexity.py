@@ -33,6 +33,7 @@ def run(
     sizes: Sequence[int] = DEFAULT_RING_SIZES,
     trials: int = DEFAULT_TRIALS,
     base_seed: int = 22,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Run the time-complexity sweep and return the E2 result."""
     table = ResultTable(
@@ -50,7 +51,7 @@ def run(
     sizes = list(sizes)
     means = []
     for n in sizes:
-        results = election_trials(n, trials, base_seed)
+        results = election_trials(n, trials, base_seed, workers=workers)
         elected = [r for r in results if r.elected]
         times = [float(r.election_time) for r in elected if r.election_time is not None]
         activations = [float(r.activations) for r in elected]

@@ -37,6 +37,7 @@ def run(
     multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
     trials: int = 20,
     base_seed: int = 33,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Sweep A0 at fixed ring size ``n`` and return the E3 result."""
     reference_a0 = recommended_a0(n)
@@ -56,7 +57,9 @@ def run(
     rows = []
     for multiplier in multipliers:
         a0 = min(0.999, reference_a0 * multiplier)
-        results = election_trials(n, trials, base_seed, a0=a0, label=f"a0x{multiplier}")
+        results = election_trials(
+            n, trials, base_seed, a0=a0, label=f"a0x{multiplier}", workers=workers
+        )
         elected = [r for r in results if r.elected]
         messages = confidence_interval([float(r.messages_total) for r in elected])
         times = confidence_interval(

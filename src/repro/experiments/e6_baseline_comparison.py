@@ -59,6 +59,7 @@ def run(
     sizes: Sequence[int] = DEFAULT_SIZES,
     trials: int = 15,
     base_seed: int = 66,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Run the baseline comparison and return the E6 result."""
     sizes = list(sizes)
@@ -71,7 +72,7 @@ def run(
     # The paper's algorithm.
     abe_means = []
     for n in sizes:
-        results = election_trials(n, trials, base_seed, label=f"abe-n{n}")
+        results = election_trials(n, trials, base_seed, label=f"abe-n{n}", workers=workers)
         elected = [float(r.messages_total) for r in results if r.elected]
         interval = confidence_interval(elected)
         abe_means.append(interval.estimate)
@@ -94,6 +95,7 @@ def run(
                 trials=trials,
                 base_seed=base_seed,
                 label=f"{name}-n{n}",
+                workers=workers,
             )
             message_counts = [float(o.messages_total) for o in outcomes if o.elected]
             interval = confidence_interval(message_counts)

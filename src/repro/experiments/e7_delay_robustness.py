@@ -39,6 +39,7 @@ def run(
     trials: int = 20,
     base_seed: int = 77,
     families: Optional[Sequence[str]] = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Run the delay-robustness comparison and return the E7 result."""
     catalogue = delay_families_with_mean(mean_delay)
@@ -72,6 +73,7 @@ def run(
             a0=a0,
             delay=delay,
             label=f"family-{name}",
+            workers=workers,
             expected_delay_bound=max(delay.mean(), mean_delay),
         )
         elected = [r for r in results if r.elected]

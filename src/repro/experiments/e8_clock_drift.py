@@ -45,6 +45,7 @@ def run(
     clock_bounds: Sequence[Tuple[float, float]] = DEFAULT_BOUNDS,
     trials: int = 20,
     base_seed: int = 88,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Run the clock-drift sweep and return the E8 result."""
     table = ResultTable(
@@ -79,6 +80,7 @@ def run(
             base_seed,
             a0=a0,
             label=f"drift-{s_low}-{s_high}",
+            workers=workers,
             clock_bounds=(s_low, s_high),
             clock_drift_factory=drift_factory,
         )

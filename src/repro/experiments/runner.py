@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from repro.experiments.parallel import ParallelTrialRunner
 from repro.sim.rng import derive_seed
 
 __all__ = ["trial_seeds", "monte_carlo", "mean_of_attribute"]
@@ -37,6 +38,7 @@ def monte_carlo(
     base_seed: int = 0,
     label: str = "",
     keep: Optional[Callable[[T], bool]] = None,
+    workers: Optional[int] = 1,
 ) -> List[T]:
     """Run ``run_one(seed)`` for ``trials`` derived seeds and collect results.
 
@@ -48,13 +50,23 @@ def monte_carlo(
         Optional filter; results for which it returns ``False`` are dropped
         (used e.g. to exclude non-terminating ablation runs from means while
         still counting them separately).
+    workers:
+        Worker processes to fan trials across (``None`` = one per CPU).  The
+        default of ``1`` runs serially in process.  Because each trial is a
+        pure function of its derived seed, the collected results are
+        bit-identical for every worker count.
     """
-    results: List[T] = []
-    for seed in trial_seeds(base_seed, trials, label):
-        outcome = run_one(seed)
-        if keep is None or keep(outcome):
-            results.append(outcome)
-    return results
+    if workers is not None and workers == 1:
+        results: List[T] = []
+        for seed in trial_seeds(base_seed, trials, label):
+            outcome = run_one(seed)
+            if keep is None or keep(outcome):
+                results.append(outcome)
+        return results
+    runner = ParallelTrialRunner(workers=workers)
+    return runner.monte_carlo(
+        run_one, trials=trials, base_seed=base_seed, label=label, keep=keep
+    )
 
 
 def mean_of_attribute(results: Sequence[Any], attribute: str) -> float:

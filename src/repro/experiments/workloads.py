@@ -79,12 +79,15 @@ def election_trials(
     a0: float = None,
     delay: DelayDistribution = None,
     label: str = "",
+    workers: int = 1,
     **election_kwargs,
 ) -> List[ElectionResult]:
     """Run ``trials`` independent elections on a ring of size ``n``.
 
     ``a0`` defaults to :func:`repro.core.analysis.recommended_a0`; ``delay``
-    defaults to the canonical exponential ABE channel.
+    defaults to the canonical exponential ABE channel.  ``workers`` fans the
+    trials across processes (seed-for-seed identical results, see
+    :mod:`repro.experiments.parallel`).
     """
     chosen_a0 = a0 if a0 is not None else recommended_a0(n)
     chosen_delay = delay if delay is not None else default_delay()
@@ -94,17 +97,27 @@ def election_trials(
             n, a0=chosen_a0, delay=chosen_delay, seed=seed, **election_kwargs
         )
 
-    return monte_carlo(run_one, trials=trials, base_seed=base_seed, label=label or f"n{n}")
+    return monte_carlo(
+        run_one,
+        trials=trials,
+        base_seed=base_seed,
+        label=label or f"n{n}",
+        workers=workers,
+    )
 
 
 def election_sweep(
     sizes: Sequence[int],
     trials: int,
     base_seed: int,
+    *,
+    workers: int = 1,
     **election_kwargs,
 ) -> Dict[int, List[ElectionResult]]:
     """Run the election at every ring size in ``sizes``; results keyed by size."""
     return {
-        n: election_trials(n, trials, base_seed, label=f"n{n}", **election_kwargs)
+        n: election_trials(
+            n, trials, base_seed, label=f"n{n}", workers=workers, **election_kwargs
+        )
         for n in sizes
     }

@@ -57,6 +57,7 @@ from repro.network.topology import (
     unidirectional_ring,
 )
 from repro.network.network import Network, NetworkConfig
+from repro.network.sampling import BlockDelaySampler
 from repro.network.adversary import (
     AdversarialDelay,
     MaxDelayAdversary,
@@ -100,6 +101,7 @@ __all__ = [
     "random_connected",
     "Network",
     "NetworkConfig",
+    "BlockDelaySampler",
     "AdversarialDelay",
     "MaxDelayAdversary",
     "TargetedSlowdownAdversary",

@@ -46,6 +46,10 @@ class Channel:
     rng:
         Random stream for delay sampling (typically ``source.rng`` -- one
         stream per channel is derived by the network).
+    delay_sampler:
+        Optional :class:`~repro.network.sampling.BlockDelaySampler` used
+        instead of per-message ``delay_model.sample`` calls.  Built by the
+        network when its configuration enables batch sampling.
     """
 
     def __init__(
@@ -56,6 +60,7 @@ class Channel:
         destination_port: int,
         delay_model: Any,
         rng: random.Random,
+        delay_sampler: Optional[Any] = None,
     ) -> None:
         self.channel_id = channel_id
         self.source = source
@@ -63,6 +68,7 @@ class Channel:
         self.destination_port = destination_port
         self.delay_model = delay_model
         self.rng = rng
+        self.delay_sampler = delay_sampler
         self.messages_sent = 0
         self.messages_delivered = 0
         self.total_delay = 0.0
@@ -71,6 +77,13 @@ class Channel:
     # ------------------------------------------------------------------ sends
 
     def _sample_delay(self, payload: Any, send_time: float) -> float:
+        sampler = self.delay_sampler
+        if sampler is not None:
+            delay = sampler.next()
+            if delay < 0:
+                raise ValueError(f"delay model produced a negative delay: {delay}")
+            return delay
+
         from repro.network.adversary import AdversarialDelay  # local import, no cycle
 
         if isinstance(self.delay_model, AdversarialDelay):

@@ -26,7 +26,7 @@ import abc
 import bisect
 import math
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 __all__ = [
     "DelayDistribution",
@@ -85,6 +85,41 @@ class DelayDistribution(abc.ABC):
             raise ValueError("count must be non-negative")
         return [self.sample(rng) for _ in range(count)]
 
+    # Batch sampling ----------------------------------------------------------
+    #
+    # The per-message cost of ``sample`` (a Python method call plus one or more
+    # ``random.Random`` calls) dominates channel transmission on the hot path.
+    # ``sample_block`` draws a block of future delays at once so a channel can
+    # amortize that cost; the default implementation is bit-identical to
+    # repeated ``sample`` calls on the same stream.  Distributions with a
+    # closed-form numpy sampler additionally implement ``sample_array``, which
+    # :class:`~repro.network.sampling.BlockDelaySampler` uses to vectorize
+    # block refills (a different, but still seed-deterministic, stream).
+
+    def sample_block(self, rng: random.Random, count: int) -> List[float]:
+        """Draw ``count`` delays from ``rng``, identical to ``count`` calls of
+        :meth:`sample` on the same stream."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        sample = self.sample
+        return [sample(rng) for _ in range(count)]
+
+    def supports_vectorized(self) -> bool:
+        """Whether :meth:`sample_array` provides a numpy-vectorized sampler."""
+        return False
+
+    def sample_array(self, gen: Any, count: int):
+        """Draw ``count`` delays from a :class:`numpy.random.Generator`.
+
+        Only available when :meth:`supports_vectorized` is true; the numpy
+        stream is distinct from the ``random.Random`` stream of
+        :meth:`sample`, but deterministic for a deterministically seeded
+        generator.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no vectorized sampler"
+        )
+
     def empirical_mean(self, rng: random.Random, count: int = 10_000) -> float:
         """Monte-Carlo estimate of the mean (used by self-tests and examples)."""
         samples = self.sample_many(rng, count)
@@ -105,6 +140,19 @@ class ConstantDelay(DelayDistribution):
 
     def sample(self, rng: random.Random) -> float:
         return self.value
+
+    def sample_block(self, rng: random.Random, count: int) -> List[float]:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.value] * count
+
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def sample_array(self, gen: Any, count: int):
+        import numpy as np
+
+        return np.full(count, self.value)
 
     def mean(self) -> float:
         return self.value
@@ -129,6 +177,12 @@ class UniformDelay(DelayDistribution):
 
     def sample(self, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
+
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def sample_array(self, gen: Any, count: int):
+        return gen.uniform(self.low, self.high, count)
 
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
@@ -156,6 +210,19 @@ class ExponentialDelay(DelayDistribution):
     def sample(self, rng: random.Random) -> float:
         return rng.expovariate(1.0 / self._mean)
 
+    def sample_block(self, rng: random.Random, count: int) -> List[float]:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        expovariate = rng.expovariate
+        rate = 1.0 / self._mean
+        return [expovariate(rate) for _ in range(count)]
+
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def sample_array(self, gen: Any, count: int):
+        return gen.exponential(self._mean, count)
+
     def mean(self) -> float:
         return self._mean
 
@@ -180,6 +247,12 @@ class ShiftedExponentialDelay(DelayDistribution):
 
     def sample(self, rng: random.Random) -> float:
         return self.offset + rng.expovariate(1.0 / self.exp_mean)
+
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def sample_array(self, gen: Any, count: int):
+        return self.offset + gen.exponential(self.exp_mean, count)
 
     def mean(self) -> float:
         return self.offset + self.exp_mean
@@ -208,6 +281,12 @@ class ErlangDelay(DelayDistribution):
         for _ in range(self.shape):
             total += rng.expovariate(1.0 / self.stage_mean)
         return total
+
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def sample_array(self, gen: Any, count: int):
+        return gen.gamma(self.shape, self.stage_mean, count)
 
     def mean(self) -> float:
         return self.shape * self.stage_mean
@@ -241,6 +320,14 @@ class ParetoDelay(DelayDistribution):
             u = rng.random()
         return self.scale / (u ** (1.0 / self.alpha))
 
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def sample_array(self, gen: Any, count: int):
+        # 1 - random() lies in (0, 1], avoiding the u == 0 singularity.
+        u = 1.0 - gen.random(count)
+        return self.scale / (u ** (1.0 / self.alpha))
+
     def mean(self) -> float:
         if self.alpha <= 1.0:
             return math.inf
@@ -270,6 +357,12 @@ class LogNormalDelay(DelayDistribution):
     def sample(self, rng: random.Random) -> float:
         return rng.lognormvariate(self.mu, self.sigma)
 
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def sample_array(self, gen: Any, count: int):
+        return gen.lognormal(self.mu, self.sigma, count)
+
     def mean(self) -> float:
         return self._mean
 
@@ -290,6 +383,12 @@ class WeibullDelay(DelayDistribution):
 
     def sample(self, rng: random.Random) -> float:
         return rng.weibullvariate(self.scale, self.shape)
+
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def sample_array(self, gen: Any, count: int):
+        return self.scale * gen.weibull(self.shape, count)
 
     def mean(self) -> float:
         return self.scale * math.gamma(1.0 + 1.0 / self.shape)

@@ -30,6 +30,7 @@ from repro.network.adversary import AdversarialDelay
 from repro.network.channel import Channel, FifoChannel
 from repro.network.delays import ConstantDelay, DelayDistribution
 from repro.network.node import Node, NodeProgram
+from repro.network.sampling import BlockDelaySampler
 from repro.network.topology import Topology
 from repro.sim.clock import ClockDriftModel, LocalClock
 from repro.sim.engine import Simulator
@@ -82,6 +83,15 @@ class NetworkConfig:
         Whether to record a structured trace (disable for large sweeps).
     trace_limit:
         Maximum number of trace events retained.
+    batch_sampling:
+        When true, channels draw their delays through a per-channel
+        :class:`~repro.network.sampling.BlockDelaySampler` (numpy-vectorized
+        where the distribution supports it) instead of one ``sample`` call per
+        message.  Results stay a deterministic function of ``seed`` but form a
+        different random stream than per-message sampling, so compare runs
+        within one mode.  Ignored for adversarial delay models.
+    batch_block_size:
+        Delays prefetched per sampler refill when ``batch_sampling`` is on.
     """
 
     topology: Topology
@@ -97,6 +107,8 @@ class NetworkConfig:
     knowledge_factory: Optional[Callable[[int], Dict[str, Any]]] = None
     enable_trace: bool = True
     trace_limit: Optional[int] = 100_000
+    batch_sampling: bool = False
+    batch_block_size: int = 256
 
 
 class Network:
@@ -176,6 +188,11 @@ class Network:
             destination = self.nodes[destination_uid]
             delay_model = self._resolve_delay_model(channel_id, source_uid, destination_uid)
             channel_rng = self.random_source.stream(f"channel/{channel_id}")
+            delay_sampler = None
+            if self.config.batch_sampling and isinstance(delay_model, DelayDistribution):
+                delay_sampler = BlockDelaySampler(
+                    delay_model, channel_rng, block_size=self.config.batch_block_size
+                )
             channel = channel_cls(
                 channel_id=channel_id,
                 source=source,
@@ -183,6 +200,7 @@ class Network:
                 destination_port=destination.in_degree,
                 delay_model=delay_model,
                 rng=channel_rng,
+                delay_sampler=delay_sampler,
             )
             destination.add_in_channel(channel)
             source.add_out_channel(channel)
@@ -216,13 +234,14 @@ class Network:
         if self._started:
             return
         self._started = True
-        for node in self.nodes:
-            program = node.program
-            if program is None:  # pragma: no cover - attach_program always ran
-                continue
-            self.simulator.schedule(
-                0.0, program.on_start, kind=EventKind.CONTROL
-            )
+        self.simulator.schedule_many(
+            (
+                (0.0, node.program.on_start)
+                for node in self.nodes
+                if node.program is not None
+            ),
+            kind=EventKind.CONTROL,
+        )
 
     def run(
         self, until: Optional[float] = None, max_events: Optional[int] = None

@@ -1,19 +1,50 @@
 """The discrete-event simulation engine.
 
 :class:`Simulator` is a minimal but complete event scheduler: a binary heap of
-:class:`~repro.sim.events.Event` objects ordered by ``(time, priority,
-sequence)``.  All higher layers (channels, clocks, synchronizers, the election
-algorithm) are expressed as callbacks scheduled on a single simulator
+``(time, priority, sequence, event)`` tuples ordered lexicographically, which
+matches the documented ``(time, priority, sequence)`` event order while keeping
+heap comparisons in C (plain tuple comparison) instead of Python-level
+``Event.__lt__``.  All higher layers (channels, clocks, synchronizers, the
+election algorithm) are expressed as callbacks scheduled on a single simulator
 instance, so an entire distributed execution is one totally ordered sequence
 of events, reproducible from a seed.
+
+Hot-path notes
+--------------
+The engine dominates the wall-clock time of every experiment (millions of
+heap operations per election), so :meth:`Simulator.run`, :meth:`~Simulator.step`
+and :meth:`~Simulator.schedule_at` deliberately trade a little readability for
+speed:
+
+* heap entries are tuples, so ordering never calls back into Python;
+* the sequence counter is a per-simulator integer (no global
+  ``itertools.count`` indirection, and two simulators in one process cannot
+  perturb each other's event numbering);
+* ``heapq.heappush``/``heappop`` and the queue list are bound to locals inside
+  the loops;
+* the listener loop is skipped entirely when no listeners are registered
+  (the common case for experiment sweeps, which disable tracing).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+import math
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
-from repro.sim.events import Event, EventHandle, EventKind, make_event
+from repro.sim.events import Event, EventHandle, EventKind
+
+#: Heap entry layout: ``(time, priority, sequence, event)``.  The sequence is
+#: unique per simulator, so comparisons never reach the trailing event object.
+QueueEntry = Tuple[float, int, int, Event]
+
+# Module-level bindings: a global load is cheaper than attribute lookup on the
+# per-event path, and these never change.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_heapify = heapq.heapify
+_isfinite = math.isfinite
+_INF = math.inf
 
 
 class SimulationError(RuntimeError):
@@ -52,11 +83,12 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now: float = float(start_time)
-        self._queue: List[Event] = []
+        self._queue: List[QueueEntry] = []
         self._running: bool = False
         self._stopped: bool = False
         self._events_processed: int = 0
         self._events_scheduled: int = 0
+        self._sequence: int = 0
         self._listeners: List[Callable[[Event], None]] = []
 
     # ------------------------------------------------------------------ time
@@ -99,13 +131,21 @@ class Simulator:
         SimulationError
             If ``delay`` is negative or not a finite number.
         """
-        if not (delay == delay) or delay in (float("inf"), float("-inf")):
-            raise SimulationError(f"delay must be finite, got {delay!r}")
-        if delay < 0:
+        # Inlined schedule_at: this is the single hottest entry point (every
+        # message delivery and clock tick lands here), so the extra method
+        # call is worth avoiding.  The chained comparison rejects NaN (fails
+        # both bounds), +/-inf and negatives in one happy-path check.
+        if not (0.0 <= delay < _INF):
+            if not _isfinite(delay):
+                raise SimulationError(f"delay must be finite, got {delay!r}")
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(
-            self._now + delay, callback, priority=priority, kind=kind, payload=payload
-        )
+        time = self._now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, priority, sequence, callback, kind, payload)
+        _heappush(self._queue, (time, priority, sequence, event))
+        self._events_scheduled += 1
+        return EventHandle(event)
 
     def schedule_at(
         self,
@@ -121,16 +161,55 @@ class Simulator:
         Raises
         ------
         SimulationError
-            If ``time`` precedes the current simulation time.
+            If ``time`` precedes the current simulation time or is NaN.
         """
-        if time < self._now:
+        if not (time >= self._now):  # also rejects NaN, which fails every compare
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        event = make_event(time, callback, priority=priority, kind=kind, payload=payload)
-        heapq.heappush(self._queue, event)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, priority, sequence, callback, kind, payload)
+        _heappush(self._queue, (time, priority, sequence, event))
         self._events_scheduled += 1
         return EventHandle(event)
+
+    def schedule_many(
+        self,
+        items: Iterable[Tuple[float, Callable[[], None]]],
+        *,
+        priority: int = 0,
+        kind: EventKind = EventKind.GENERIC,
+    ) -> List[EventHandle]:
+        """Batch-schedule ``(delay, callback)`` pairs in one heap rebuild.
+
+        Equivalent to calling :meth:`schedule` for each pair (sequence numbers
+        are assigned in iteration order, so ties fire in list order) but costs
+        one O(n) ``heapify`` instead of n O(log n) pushes.  Used by
+        :class:`~repro.network.network.Network` to start every node program at
+        once.
+        """
+        now = self._now
+        sequence = self._sequence
+        entries: List[QueueEntry] = []
+        handles: List[EventHandle] = []
+        # Build (and validate) everything locally first so a bad item mid-batch
+        # leaves the simulator untouched.
+        for delay, callback in items:
+            if not (0.0 <= delay < _INF):
+                if not _isfinite(delay):
+                    raise SimulationError(f"delay must be finite, got {delay!r}")
+                raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            time = now + delay
+            event = Event(time, priority, sequence, callback, kind, None)
+            entries.append((time, priority, sequence, event))
+            sequence += 1
+            handles.append(EventHandle(event))
+        self._queue.extend(entries)
+        self._sequence = sequence
+        self._events_scheduled += len(handles)
+        _heapify(self._queue)
+        return handles
 
     def add_listener(self, listener: Callable[[Event], None]) -> None:
         """Register a hook invoked (with the event) just before each event fires.
@@ -156,13 +235,17 @@ class Simulator:
         empty (cancelled events are silently discarded without counting as a
         step).
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            entry = _heappop(queue)
+            event = entry[3]
             if event.cancelled:
                 continue
-            self._now = event.time
-            for listener in self._listeners:
-                listener(event)
+            self._now = entry[0]
+            listeners = self._listeners
+            if listeners:
+                for listener in listeners:
+                    listener(event)
             event.fire()
             self._events_processed += 1
             return True
@@ -194,19 +277,46 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        limit = _INF if max_events is None else max_events
+        queue = self._queue
+        listeners = self._listeners  # the list object is never rebound
         try:
-            while self._queue and not self._stopped:
-                if max_events is not None and fired >= max_events:
+            while queue and not self._stopped:
+                if fired >= limit:
+                    # Event cap: break (not the while-else) so the clock is NOT
+                    # advanced to the horizon past still-pending events.
                     break
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and event.time > until:
-                    self._now = until
-                    break
-                if self.step():
-                    fired += 1
+                if until is not None:
+                    # Peek before popping: drain cancelled heads in one pass so
+                    # the horizon check sees the next *live* event.
+                    while queue and queue[0][3].cancelled:
+                        _heappop(queue)
+                    if not queue:
+                        continue  # loop condition fails; horizon handling below
+                    if queue[0][0] > until:
+                        self._now = until
+                        break
+                    time, _p, _s, event = _heappop(queue)
+                else:
+                    # No horizon: pop first, skip cancelled events as they come.
+                    time, _p, _s, event = _heappop(queue)
+                    if event.cancelled:
+                        continue
+                self._now = time
+                if listeners:
+                    for listener in listeners:
+                        listener(event)
+                    if not event.cancelled:  # a listener may cancel mid-flight
+                        event.fired = True
+                        event.callback()
+                else:
+                    event.fired = True
+                    event.callback()
+                # Matches step(): an event cancelled by a listener after being
+                # popped live still counts as a processed step (its callback is
+                # suppressed, like the seed engine's Event.fire()).
+                self._events_processed += 1
+                fired += 1
             else:
                 if until is not None and not self._stopped:
                     # Queue exhausted before the horizon: advance to it anyway so

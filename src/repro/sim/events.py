@@ -5,14 +5,20 @@ monotonically increasing counter assigned at scheduling time, which gives the
 simulation a total, reproducible order even when many events share the same
 timestamp -- a frequent situation in synchronous-round simulations where all
 nodes act at integer times.
+
+Performance note: :class:`Event` is a ``__slots__`` class whose ordering is a
+single precomputed ``sort_key`` tuple comparison.  The scheduler itself goes
+one step further and keeps ``(time, priority, sequence, event)`` tuples on its
+heap, so the hot comparison path never enters Python-level ``__lt__`` at all;
+the key on the event exists for API compatibility (events remain directly
+comparable) and for code that sorts events outside the engine.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 
 class EventKind(enum.Enum):
@@ -40,16 +46,16 @@ _sequence_counter = itertools.count()
 def next_sequence() -> int:
     """Return the next global scheduling sequence number.
 
-    The counter is global (process wide) rather than per simulator: two
-    simulators created in the same process therefore never share handles, and
-    determinism within a single simulator is unaffected because its events
-    still receive strictly increasing numbers in scheduling order.
+    Used by :func:`make_event` for events constructed outside a simulator.
+    :class:`~repro.sim.engine.Simulator` instead assigns sequence numbers from
+    a per-instance counter, which keeps a simulation's event order independent
+    of any other simulator living in the same process and avoids the global
+    counter indirection on the scheduling hot path.
     """
 
     return next(_sequence_counter)
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -73,20 +79,74 @@ class Event:
         delivered); never interpreted by the engine itself.
     cancelled:
         Set via :meth:`EventHandle.cancel`; cancelled events are skipped.
+    fired:
+        Set by the scheduler once the callback has run; used so that
+        cancelling an already-fired event reports failure.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    kind: EventKind = field(default=EventKind.GENERIC, compare=False)
-    payload: Any = field(default=None, compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "callback",
+        "kind",
+        "payload",
+        "cancelled",
+        "fired",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[[], None],
+        kind: EventKind = EventKind.GENERIC,
+        payload: Any = None,
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.kind = kind
+        self.payload = payload
+        self.cancelled = cancelled
+        self.fired = False
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int]:
+        """The ``(time, priority, sequence)`` ordering tuple."""
+        return (self.time, self.priority, self.sequence)
+
+    # Ordering ---------------------------------------------------------------
+    # Only the scheduling key participates; callback/kind/payload are ignored,
+    # matching the old ``order=True`` dataclass semantics.
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __le__(self, other: "Event") -> bool:
+        return self.sort_key <= other.sort_key
+
+    def __gt__(self, other: "Event") -> bool:
+        return self.sort_key > other.sort_key
+
+    def __ge__(self, other: "Event") -> bool:
+        return self.sort_key >= other.sort_key
 
     def fire(self) -> None:
         """Invoke the callback unless the event has been cancelled."""
         if not self.cancelled:
+            self.fired = True
             self.callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "live")
+        return (
+            f"Event(t={self.time:.6g}, prio={self.priority}, "
+            f"seq={self.sequence}, kind={self.kind}, {state})"
+        )
 
 
 class EventHandle:
@@ -122,21 +182,27 @@ class EventHandle:
         """Whether :meth:`cancel` has been called."""
         return self._event.cancelled
 
+    @property
+    def fired(self) -> bool:
+        """Whether the event's callback has already run."""
+        return self._event.fired
+
     def cancel(self) -> bool:
         """Cancel the event.
 
         Returns ``True`` if the event was live and is now cancelled, ``False``
-        if it had already been cancelled.  Cancelling an event that has already
-        fired has no effect (and returns ``True`` the first time for
-        simplicity); callers that care should track firing themselves.
+        if it had already been cancelled *or had already fired* -- a fired
+        event cannot be retracted, so reporting success for it would mislead
+        callers implementing timeout patterns.
         """
-        if self._event.cancelled:
+        event = self._event
+        if event.cancelled or event.fired:
             return False
-        self._event.cancelled = True
+        event.cancelled = True
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "live"
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "live")
         return f"EventHandle(t={self.time:.6g}, kind={self.kind}, {state})"
 
 
@@ -148,7 +214,7 @@ def make_event(
     kind: EventKind = EventKind.GENERIC,
     payload: Optional[Any] = None,
 ) -> Event:
-    """Construct an :class:`Event` with a fresh sequence number."""
+    """Construct an :class:`Event` with a fresh global sequence number."""
 
     return Event(
         time=time,

@@ -1,0 +1,166 @@
+"""Determinism and behaviour of the parallel Monte-Carlo trial runner.
+
+The seed-derivation contract says trial ``i`` of base seed ``s`` always runs
+with ``derive_seed(s, "trial{i}")`` and each trial is a pure function of that
+seed.  These tests pin the two consequences the experiments rely on:
+
+* serial and parallel execution produce bit-identical result lists for any
+  worker count, and
+* results are reproducible across separate Python processes (``derive_seed``
+  is hash-salt independent).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.parallel import (
+    ParallelTrialRunner,
+    default_worker_count,
+    fork_available,
+    parallel_map,
+)
+from repro.experiments.runner import mean_of_attribute, monte_carlo
+from repro.experiments.workloads import election_trials
+
+
+class TestParallelTrialRunner:
+    def test_map_preserves_order(self):
+        runner = ParallelTrialRunner(workers=4)
+        assert runner.map(lambda x: x * x, range(20)) == [x * x for x in range(20)]
+
+    def test_map_with_one_worker_is_serial(self):
+        runner = ParallelTrialRunner(workers=1)
+        assert runner.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+
+    def test_workers_none_uses_cpu_count(self):
+        runner = ParallelTrialRunner(workers=None)
+        assert runner.workers == default_worker_count()
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelTrialRunner(workers=0)
+        with pytest.raises(ValueError):
+            ParallelTrialRunner(workers=4, chunk_size=0)
+
+    def test_closures_cross_the_fork_boundary(self):
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        captured = {"offset": 100}
+        runner = ParallelTrialRunner(workers=2)
+        assert runner.map(lambda x: x + captured["offset"], [1, 2, 3]) == [101, 102, 103]
+
+    def test_parallel_map_convenience(self):
+        assert parallel_map(str, [1, 2], workers=2) == ["1", "2"]
+
+    def test_monte_carlo_method_matches_function(self):
+        runner = ParallelTrialRunner(workers=2)
+        via_method = runner.monte_carlo(lambda seed: seed % 5, trials=10, base_seed=3)
+        via_function = monte_carlo(lambda seed: seed % 5, trials=10, base_seed=3)
+        assert via_method == via_function
+
+
+class TestMonteCarloWorkers:
+    def test_keep_filter_applied_after_parallel_gather(self):
+        serial = monte_carlo(
+            lambda seed: seed % 3, trials=12, base_seed=1, keep=lambda v: v == 0
+        )
+        parallel = monte_carlo(
+            lambda seed: seed % 3,
+            trials=12,
+            base_seed=1,
+            keep=lambda v: v == 0,
+            workers=3,
+        )
+        assert serial == parallel
+        assert all(value == 0 for value in parallel)
+
+    def test_keep_can_drop_everything(self):
+        assert (
+            monte_carlo(lambda seed: seed, trials=4, base_seed=1, keep=lambda v: False)
+            == []
+        )
+
+    def test_workers_do_not_change_results(self):
+        serial = monte_carlo(lambda seed: (seed * 7) % 101, trials=16, base_seed=9)
+        fanned = monte_carlo(
+            lambda seed: (seed * 7) % 101, trials=16, base_seed=9, workers=4
+        )
+        assert serial == fanned
+
+
+class TestMeanOfAttribute:
+    class _Point:
+        def __init__(self, value):
+            self.value = value
+
+    def test_empty_results_raise(self):
+        with pytest.raises(ValueError):
+            mean_of_attribute([], "value")
+
+    def test_all_none_values_raise(self):
+        with pytest.raises(ValueError):
+            mean_of_attribute([self._Point(None), self._Point(None)], "value")
+
+    def test_none_values_excluded_from_mean(self):
+        points = [self._Point(2.0), self._Point(None), self._Point(4.0)]
+        assert mean_of_attribute(points, "value") == 3.0
+
+
+class TestElectionDeterminism:
+    """The acceptance-critical regression tests for the seed contract."""
+
+    def test_serial_and_parallel_election_results_bit_identical(self):
+        serial = election_trials(8, trials=6, base_seed=13)
+        parallel = election_trials(8, trials=6, base_seed=13, workers=4)
+        # ElectionResult is a dataclass of primitives: == is field-wise.
+        assert serial == parallel
+
+    def test_experiment_findings_identical_across_worker_counts(self):
+        from repro.experiments import e1_message_complexity
+
+        serial = e1_message_complexity.run(sizes=(8, 16), trials=3, base_seed=11)
+        fanned = e1_message_complexity.run(sizes=(8, 16), trials=3, base_seed=11, workers=3)
+        assert serial.findings == fanned.findings
+        assert [dict(row) for row in serial.table()] == [
+            dict(row) for row in fanned.table()
+        ]
+
+    def test_results_identical_across_processes(self):
+        """Same seed => same results in a fresh interpreter (twice over)."""
+        snippet = (
+            "import json, sys\n"
+            "from repro.experiments.workloads import election_trials\n"
+            "results = election_trials(8, trials=3, base_seed=21, workers=2)\n"
+            "payload = [[r.messages_total, r.election_time, r.leader_uid, r.seed]"
+            " for r in results]\n"
+            "print(json.dumps(payload))\n"
+        )
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(src_root, "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        outputs = []
+        for _ in range(2):
+            completed = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+                timeout=300,
+            )
+            outputs.append(json.loads(completed.stdout))
+        assert outputs[0] == outputs[1]
+        in_process = election_trials(8, trials=3, base_seed=21)
+        expected = [
+            [r.messages_total, r.election_time, r.leader_uid, r.seed]
+            for r in in_process
+        ]
+        assert outputs[0] == expected

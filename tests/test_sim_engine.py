@@ -54,6 +54,12 @@ class TestScheduling:
             simulator.schedule(float("nan"), lambda: None)
         with pytest.raises(SimulationError):
             simulator.schedule(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            simulator.schedule(float("-inf"), lambda: None)
+
+    def test_nan_absolute_time_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(float("nan"), lambda: None)
 
     def test_scheduling_into_the_past_rejected(self, simulator):
         simulator.schedule(5.0, lambda: None)
@@ -170,3 +176,115 @@ class TestCancellationAndListeners:
         simulator.run()
         assert simulator.events_scheduled == 5
         assert simulator.events_processed == 5
+
+    def test_cancel_after_firing_reports_false(self, simulator):
+        handle = simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        assert handle.fired
+        assert handle.cancel() is False
+        assert not handle.cancelled
+
+    def test_cancelled_head_run_is_drained_under_horizon(self, simulator):
+        fired = []
+        handles = [simulator.schedule(1.0, lambda: fired.append("x")) for _ in range(3)]
+        simulator.schedule(2.0, lambda: fired.append("live"))
+        for handle in handles:
+            handle.cancel()
+        simulator.run(until=5.0)
+        assert fired == ["live"]
+        assert simulator.now == 5.0
+
+    def test_run_with_only_cancelled_events_advances_to_horizon(self, simulator):
+        handle = simulator.schedule(1.0, lambda: None)
+        handle.cancel()
+        assert simulator.run(until=3.0) == 3.0
+        assert simulator.events_processed == 0
+
+    def test_event_cap_does_not_jump_clock_to_horizon(self, simulator):
+        # Stopping at max_events must leave the clock at the last fired event,
+        # not at `until`, or a later run() would move time backwards.
+        times = []
+        for t in (1.0, 2.0, 3.0):
+            simulator.schedule(t, lambda t=t: times.append(t))
+        stop_time = simulator.run(until=100.0, max_events=1)
+        assert times == [1.0]
+        assert stop_time == 1.0
+        simulator.run()
+        assert times == [1.0, 2.0, 3.0]
+        assert simulator.now == 3.0
+
+    def test_listener_cancelling_current_event_still_counts_as_step(self, simulator):
+        # run() and step() must agree: a live-popped event that a listener
+        # cancels mid-flight is a processed step whose callback is suppressed.
+        def cancel_in_flight(event):
+            event.cancelled = True
+
+        fired = []
+        simulator.add_listener(cancel_in_flight)
+        simulator.schedule(1.0, lambda: fired.append("a"))
+        simulator.schedule(2.0, lambda: fired.append("b"))
+        simulator.run()
+        assert fired == []
+
+        stepper = Simulator()
+        stepper.add_listener(cancel_in_flight)
+        stepper.schedule(1.0, lambda: fired.append("a"))
+        stepper.schedule(2.0, lambda: fired.append("b"))
+        while stepper.step():
+            pass
+        assert stepper.events_processed == simulator.events_processed == 2
+        assert fired == []
+
+
+class TestScheduleMany:
+    def test_ties_fire_in_list_order(self, simulator):
+        fired = []
+        simulator.schedule_many((1.0, lambda l=label: fired.append(l)) for label in "abcde")
+        simulator.run()
+        assert fired == list("abcde")
+
+    def test_interleaves_correctly_with_schedule(self, simulator):
+        fired = []
+        simulator.schedule(2.0, lambda: fired.append("late"))
+        simulator.schedule_many([(1.0, lambda: fired.append("batch"))])
+        simulator.schedule(0.5, lambda: fired.append("early"))
+        simulator.run()
+        assert fired == ["early", "batch", "late"]
+
+    def test_returns_cancelable_handles(self, simulator):
+        fired = []
+        handles = simulator.schedule_many(
+            [(1.0, lambda: fired.append(1)), (2.0, lambda: fired.append(2))]
+        )
+        assert len(handles) == 2
+        handles[0].cancel()
+        simulator.run()
+        assert fired == [2]
+
+    def test_counts_as_scheduled(self, simulator):
+        simulator.schedule_many([(0.0, lambda: None)] * 4)
+        assert simulator.events_scheduled == 4
+        assert simulator.pending == 4
+
+    def test_invalid_delays_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.schedule_many([(-1.0, lambda: None)])
+        with pytest.raises(SimulationError):
+            simulator.schedule_many([(float("nan"), lambda: None)])
+
+    def test_failed_batch_leaves_simulator_untouched(self, simulator):
+        fired = []
+        with pytest.raises(SimulationError):
+            simulator.schedule_many(
+                [(1.0, lambda: fired.append("x")), (float("nan"), lambda: None)]
+            )
+        assert simulator.pending == 0
+        assert simulator.events_scheduled == 0
+        simulator.run()
+        assert fired == []
+        # The sequence counter must not have been burned by the failed batch.
+        a = simulator.schedule(1.0, lambda: fired.append("a"))
+        b = simulator.schedule(1.0, lambda: fired.append("b"))
+        simulator.run()
+        assert fired == ["a", "b"]
+        assert a.time == b.time

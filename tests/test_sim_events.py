@@ -60,6 +60,26 @@ class TestEventHandle:
         assert handle.cancel()
         assert event.cancelled
 
+    def test_fire_marks_fired_and_cancel_then_fails(self):
+        event = make_event(1.0, lambda: None)
+        handle = EventHandle(event)
+        assert not handle.fired
+        event.fire()
+        assert handle.fired
+        assert handle.cancel() is False
+        assert not handle.cancelled
+
+    def test_cancelled_event_never_reports_fired(self):
+        event = make_event(1.0, lambda: None)
+        handle = EventHandle(event)
+        handle.cancel()
+        event.fire()
+        assert not handle.fired
+
+    def test_sort_key_matches_ordering_fields(self):
+        event = make_event(2.0, lambda: None, priority=3)
+        assert event.sort_key == (2.0, 3, event.sequence)
+
     def test_event_kind_str(self):
         assert str(EventKind.MESSAGE_DELIVERY) == "message-delivery"
 
