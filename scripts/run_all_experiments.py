@@ -19,7 +19,11 @@ import inspect
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
-from repro.experiments.parallel import resolve_worker_count, worker_count_argument
+from repro.experiments.parallel import (
+    SweepPool,
+    resolve_worker_count,
+    worker_count_argument,
+)
 from repro.experiments.reporting import render_experiment
 
 
@@ -45,18 +49,24 @@ def main() -> int:
 
     sections = []
     total_started = time.time()
-    for experiment_id in sorted(ALL_EXPERIMENTS):
-        module = ALL_EXPERIMENTS[experiment_id]
-        kwargs = {}
-        if "workers" in inspect.signature(module.run).parameters:
-            kwargs["workers"] = workers
-        started = time.time()
-        print(f"running {experiment_id} ({module.TITLE}) ...", flush=True)
-        result = module.run(**kwargs)
-        elapsed = time.time() - started
-        sections.append(render_experiment(result))
-        sections.append(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
-        print(f"  done in {elapsed:.1f}s", flush=True)
+    # One worker pool serves every experiment that can share it (e1-e3, e5):
+    # pool startup is paid once for the whole report, not once per sweep point.
+    with SweepPool(workers) as pool:
+        for experiment_id in sorted(ALL_EXPERIMENTS):
+            module = ALL_EXPERIMENTS[experiment_id]
+            kwargs = {}
+            parameters = inspect.signature(module.run).parameters
+            if "pool" in parameters:
+                kwargs["pool"] = pool
+            elif "workers" in parameters:
+                kwargs["workers"] = workers
+            started = time.time()
+            print(f"running {experiment_id} ({module.TITLE}) ...", flush=True)
+            result = module.run(**kwargs)
+            elapsed = time.time() - started
+            sections.append(render_experiment(result))
+            sections.append(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+            print(f"  done in {elapsed:.1f}s", flush=True)
     total_elapsed = time.time() - total_started
     report = "\n".join(sections)
     with open(args.output_path, "w", encoding="utf-8") as handle:

@@ -28,7 +28,7 @@ laptop-friendly.
 
 from repro.experiments.results import ExperimentResult, ResultTable
 from repro.experiments.runner import monte_carlo, trial_seeds
-from repro.experiments.parallel import ParallelTrialRunner, parallel_map
+from repro.experiments.parallel import ParallelTrialRunner, SweepPool, parallel_map
 from repro.experiments.reporting import format_table, render_experiment
 from repro.experiments import (
     e1_message_complexity,
@@ -62,6 +62,7 @@ __all__ = [
     "monte_carlo",
     "trial_seeds",
     "ParallelTrialRunner",
+    "SweepPool",
     "parallel_map",
     "format_table",
     "render_experiment",

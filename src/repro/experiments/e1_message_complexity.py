@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.analysis import async_ring_message_lower_bound, recommended_a0
+from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
 from repro.experiments.workloads import DEFAULT_RING_SIZES, DEFAULT_TRIALS, election_trials
 from repro.stats.complexity_fit import best_growth_order
@@ -37,8 +38,14 @@ def run(
     trials: int = DEFAULT_TRIALS,
     base_seed: int = 11,
     workers: int = 1,
+    pool: SweepPool = None,
 ) -> ExperimentResult:
-    """Run the message-complexity sweep and return the E1 result."""
+    """Run the message-complexity sweep and return the E1 result.
+
+    ``workers`` fans each size's trials across one shared
+    :class:`~repro.experiments.parallel.SweepPool` (created here unless an
+    external ``pool`` is passed in); results are bit-identical to serial.
+    """
     table = ResultTable(
         title="E1: messages to elect a leader (mean over trials)",
         columns=[
@@ -53,8 +60,9 @@ def run(
     )
     sizes = list(sizes)
     means = []
-    for n in sizes:
-        results = election_trials(n, trials, base_seed, workers=workers)
+    with SweepPool.ensure(pool, workers) as shared:
+        per_size = [election_trials(n, trials, base_seed, pool=shared) for n in sizes]
+    for n, results in zip(sizes, per_size):
         elected = [r for r in results if r.elected]
         message_counts = [float(r.messages_total) for r in elected]
         interval = confidence_interval(message_counts)

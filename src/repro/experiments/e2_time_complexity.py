@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.analysis import recommended_a0
+from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
 from repro.experiments.workloads import DEFAULT_RING_SIZES, DEFAULT_TRIALS, election_trials
 from repro.stats.complexity_fit import best_growth_order
@@ -34,8 +35,13 @@ def run(
     trials: int = DEFAULT_TRIALS,
     base_seed: int = 22,
     workers: int = 1,
+    pool: SweepPool = None,
 ) -> ExperimentResult:
-    """Run the time-complexity sweep and return the E2 result."""
+    """Run the time-complexity sweep and return the E2 result.
+
+    One shared :class:`~repro.experiments.parallel.SweepPool` serves every
+    ring size (see E1); results are bit-identical for any worker count.
+    """
     table = ResultTable(
         title="E2: simulated time to elect a leader (mean over trials)",
         columns=[
@@ -50,8 +56,9 @@ def run(
     )
     sizes = list(sizes)
     means = []
-    for n in sizes:
-        results = election_trials(n, trials, base_seed, workers=workers)
+    with SweepPool.ensure(pool, workers) as shared:
+        per_size = [election_trials(n, trials, base_seed, pool=shared) for n in sizes]
+    for n, results in zip(sizes, per_size):
         elected = [r for r in results if r.elected]
         times = [float(r.election_time) for r in elected if r.election_time is not None]
         activations = [float(r.activations) for r in elected]

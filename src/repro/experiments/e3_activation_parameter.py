@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.analysis import recommended_a0, ring_pressure_per_tick
+from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
 from repro.experiments.workloads import election_trials
 from repro.stats.confidence import confidence_interval
@@ -38,8 +39,13 @@ def run(
     trials: int = 20,
     base_seed: int = 33,
     workers: int = 1,
+    pool: SweepPool = None,
 ) -> ExperimentResult:
-    """Sweep A0 at fixed ring size ``n`` and return the E3 result."""
+    """Sweep A0 at fixed ring size ``n`` and return the E3 result.
+
+    One shared :class:`~repro.experiments.parallel.SweepPool` serves every
+    multiplier point; results are bit-identical for any worker count.
+    """
     reference_a0 = recommended_a0(n)
     table = ResultTable(
         title=f"E3: A0 sweep on a ring of n={n} nodes",
@@ -55,11 +61,21 @@ def run(
         ],
     )
     rows = []
-    for multiplier in multipliers:
-        a0 = min(0.999, reference_a0 * multiplier)
-        results = election_trials(
-            n, trials, base_seed, a0=a0, label=f"a0x{multiplier}", workers=workers
-        )
+    # One clamp, shared by the trial fan-out and the reported table rows.
+    a0_values = [min(0.999, reference_a0 * multiplier) for multiplier in multipliers]
+    with SweepPool.ensure(pool, workers) as shared:
+        per_point = [
+            election_trials(
+                n,
+                trials,
+                base_seed,
+                a0=a0,
+                label=f"a0x{multiplier}",
+                pool=shared,
+            )
+            for multiplier, a0 in zip(multipliers, a0_values)
+        ]
+    for multiplier, a0, results in zip(multipliers, a0_values, per_point):
         elected = [r for r in results if r.elected]
         messages = confidence_interval([float(r.messages_total) for r in elected])
         times = confidence_interval(

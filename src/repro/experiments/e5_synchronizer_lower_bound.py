@@ -20,10 +20,11 @@ flooding) and the same topologies:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from repro.algorithms.synchronous import FloodingSync, SynchronousExecutor
-from repro.experiments.parallel import parallel_map
+from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
 from repro.network.delays import ExponentialDelay, UniformDelay
 from repro.network.topology import Topology, bidirectional_ring, random_connected
@@ -113,12 +114,54 @@ def _run_case(
     raise ValueError(f"unknown synchronizer {synchronizer!r}")
 
 
+def _run_size_battery(
+    rounds: Optional[int], base_seed: int, include_random_graph: bool, n: int
+) -> List[dict]:
+    """All cases for one ring size; rows carry only primitives so the per-size
+    batteries can run in (long-lived) worker processes.  Module-level -- and
+    invoked through :func:`functools.partial` -- so it pickles into a shared
+    :class:`~repro.experiments.parallel.SweepPool`."""
+    rows: List[dict] = []
+    topologies: List[Topology] = [bidirectional_ring(n)]
+    if include_random_graph:
+        topologies.append(random_connected(n, edge_probability=0.3, seed=base_seed + n))
+    for topology in topologies:
+        round_count = rounds if rounds is not None else max(4, n // 2)
+        truth = _ground_truth(topology, round_count)
+        cases = [
+            ("alpha", True),
+            ("beta", True),
+            ("abd", False),
+            ("abd", True),
+        ]
+        for synchronizer, abe_delays in cases:
+            result = _run_case(
+                topology, synchronizer, round_count, base_seed + n, abe_delays
+            )
+            matches = result.results == truth and result.completed
+            rows.append(
+                dict(
+                    topology=topology.name,
+                    n=n,
+                    synchronizer=synchronizer,
+                    delay_model="ABE (exponential)" if abe_delays else "ABD (bounded)",
+                    messages_per_round=result.messages_per_round,
+                    theorem1_bound=theorem1_lower_bound(n),
+                    meets_theorem1=theorem1_satisfied(result),
+                    late_messages=result.late_messages,
+                    matches_ground_truth=matches,
+                )
+            )
+    return rows
+
+
 def run(
     sizes: Sequence[int] = DEFAULT_SIZES,
     rounds: Optional[int] = None,
     base_seed: int = 55,
     include_random_graph: bool = True,
     workers: int = 1,
+    pool: SweepPool = None,
 ) -> ExperimentResult:
     """Run the synchronizer comparison and return the E5 result."""
     table = ResultTable(
@@ -136,46 +179,14 @@ def run(
         ],
     )
 
-    def run_size(n: int) -> List[dict]:
-        """All cases for one ring size; rows carry only primitives so the
-        per-size batteries can run in worker processes."""
-        rows: List[dict] = []
-        topologies: List[Topology] = [bidirectional_ring(n)]
-        if include_random_graph:
-            topologies.append(random_connected(n, edge_probability=0.3, seed=base_seed + n))
-        for topology in topologies:
-            round_count = rounds if rounds is not None else max(4, n // 2)
-            truth = _ground_truth(topology, round_count)
-            cases = [
-                ("alpha", True),
-                ("beta", True),
-                ("abd", False),
-                ("abd", True),
-            ]
-            for synchronizer, abe_delays in cases:
-                result = _run_case(
-                    topology, synchronizer, round_count, base_seed + n, abe_delays
-                )
-                matches = result.results == truth and result.completed
-                rows.append(
-                    dict(
-                        topology=topology.name,
-                        n=n,
-                        synchronizer=synchronizer,
-                        delay_model="ABE (exponential)" if abe_delays else "ABD (bounded)",
-                        messages_per_round=result.messages_per_round,
-                        theorem1_bound=theorem1_lower_bound(n),
-                        meets_theorem1=theorem1_satisfied(result),
-                        late_messages=result.late_messages,
-                        matches_ground_truth=matches,
-                    )
-                )
-        return rows
+    battery = partial(_run_size_battery, rounds, base_seed, include_random_graph)
+    with SweepPool.ensure(pool, workers) as shared:
+        batteries = shared.map(battery, list(sizes))
 
     sound_always_above_bound = True
     abd_below_bound_somewhere = False
     abd_incorrect_on_abe = False
-    for rows in parallel_map(run_size, list(sizes), workers=workers):
+    for rows in batteries:
         for row in rows:
             if row["synchronizer"] in ("alpha", "beta"):
                 sound_always_above_bound &= row["meets_theorem1"]

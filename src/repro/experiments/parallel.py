@@ -25,10 +25,12 @@ from __future__ import annotations
 import argparse
 import multiprocessing
 import os
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Sequence, TypeVar
 
 __all__ = [
     "ParallelTrialRunner",
+    "SweepPool",
     "parallel_map",
     "default_worker_count",
     "fork_available",
@@ -163,3 +165,116 @@ def parallel_map(
 ) -> List[R]:
     """One-shot convenience wrapper around :meth:`ParallelTrialRunner.map`."""
     return ParallelTrialRunner(workers=workers).map(fn, items)
+
+
+class SweepPool:
+    """One process pool shared across every parameter point of a sweep.
+
+    :class:`ParallelTrialRunner` forks a fresh pool per ``map`` call, which is
+    correct for arbitrary closures (they are inherited through the forked
+    address space) but pays the pool startup once per ring size / parameter
+    point.  ``SweepPool`` instead keeps a single ``fork`` pool alive for the
+    whole sweep and ships each point's tasks to the already-running workers.
+
+    The price of reuse is picklability: because workers outlive any single
+    ``map`` call, the callable can no longer be inherited at fork time and
+    must cross the process boundary -- use a module-level function, a
+    ``functools.partial`` over one, or a picklable callable object such as
+    :class:`repro.experiments.workloads.ElectionTrial`.
+
+    Determinism is untouched: :meth:`monte_carlo` derives the exact
+    ``derive_seed(base, "trial{i}")`` seed list the serial path uses, and
+    ``Pool.map`` preserves input order, so results are bit-identical to the
+    serial runner for any worker count.
+
+    The pool is created lazily on the first parallel ``map`` and torn down by
+    :meth:`close` (or the context manager).  ``workers=1`` never creates a
+    pool and runs everything serially in process.
+    """
+
+    def __init__(self, workers: Optional[int] = 1, chunk_size: Optional[int] = None) -> None:
+        if workers is None:
+            workers = default_worker_count()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = int(workers)
+        self.chunk_size = chunk_size
+        self._pool = None
+        self._closed = False
+
+    # -------------------------------------------------------------- lifecycle
+
+    @staticmethod
+    @contextmanager
+    def ensure(
+        pool: Optional["SweepPool"], workers: Optional[int]
+    ) -> Iterator["SweepPool"]:
+        """Yield ``pool`` if given, else a freshly owned ``SweepPool(workers)``.
+
+        The one pool-lifecycle idiom of the experiment sweeps: an externally
+        supplied pool is left open for its owner (so one pool can serve many
+        experiments), while a pool created here is closed on exit.
+        """
+        if pool is not None:
+            yield pool
+            return
+        owned = SweepPool(workers)
+        try:
+            yield owned
+        finally:
+            owned.close()
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear down the worker pool (idempotent); the object stays usable
+        serially afterwards only for ``workers=1``."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # ---------------------------------------------------------------- mapping
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item, in input order, on the shared pool."""
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1 or not fork_available():
+            return [fn(item) for item in items]
+        if self._closed:
+            raise RuntimeError("SweepPool is closed")
+        if self._pool is None:
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(processes=self.workers)
+        chunk = self.chunk_size or max(1, len(items) // (self.workers * 4))
+        return self._pool.map(fn, items, chunksize=chunk)
+
+    # ------------------------------------------------------------ monte carlo
+
+    def monte_carlo(
+        self,
+        run_one: Callable[[int], T],
+        trials: int,
+        base_seed: int = 0,
+        label: str = "",
+        keep: Optional[Callable[[T], bool]] = None,
+    ) -> List[T]:
+        """Pool-reusing equivalent of :func:`repro.experiments.runner.monte_carlo`.
+
+        Same seed list, same ordered gather, same post-hoc ``keep`` filter;
+        only the pool lifetime differs, so results are bit-identical to the
+        serial and :class:`ParallelTrialRunner` paths.
+        """
+        from repro.experiments.runner import trial_seeds  # late: avoids cycle
+
+        outcomes = self.map(run_one, trial_seeds(base_seed, trials, label))
+        if keep is None:
+            return outcomes
+        return [outcome for outcome in outcomes if keep(outcome)]

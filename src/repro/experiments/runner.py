@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
-from repro.experiments.parallel import ParallelTrialRunner
+from repro.experiments.parallel import ParallelTrialRunner, SweepPool
 from repro.sim.rng import derive_seed
 
 __all__ = ["trial_seeds", "monte_carlo", "mean_of_attribute"]
@@ -39,6 +39,7 @@ def monte_carlo(
     label: str = "",
     keep: Optional[Callable[[T], bool]] = None,
     workers: Optional[int] = 1,
+    pool: Optional[SweepPool] = None,
 ) -> List[T]:
     """Run ``run_one(seed)`` for ``trials`` derived seeds and collect results.
 
@@ -55,7 +56,15 @@ def monte_carlo(
         default of ``1`` runs serially in process.  Because each trial is a
         pure function of its derived seed, the collected results are
         bit-identical for every worker count.
+    pool:
+        Optional shared :class:`~repro.experiments.parallel.SweepPool`;
+        overrides ``workers`` and reuses the pool's long-lived workers
+        (``run_one`` must then be picklable).  Results stay bit-identical.
     """
+    if pool is not None:
+        return pool.monte_carlo(
+            run_one, trials=trials, base_seed=base_seed, label=label, keep=keep
+        )
     if workers is not None and workers == 1:
         results: List[T] = []
         for seed in trial_seeds(base_seed, trials, label):

@@ -11,6 +11,7 @@ from typing import Callable, Dict, List, Sequence
 
 from repro.core.analysis import recommended_a0
 from repro.core.runner import ElectionResult, run_election
+from repro.experiments.parallel import SweepPool
 from repro.experiments.runner import monte_carlo
 from repro.network.delays import (
     ConstantDelay,
@@ -27,6 +28,7 @@ from repro.network.routing import DynamicRoutingDelay
 __all__ = [
     "DEFAULT_RING_SIZES",
     "DEFAULT_TRIALS",
+    "ElectionTrial",
     "default_delay",
     "delay_families_with_mean",
     "election_trials",
@@ -71,6 +73,33 @@ def delay_families_with_mean(mean: float = 1.0) -> Dict[str, DelayDistribution]:
     }
 
 
+class ElectionTrial:
+    """Picklable ``run_one`` callable for election trials.
+
+    A plain closure over ``run_election`` cannot cross the boundary into a
+    long-lived :class:`~repro.experiments.parallel.SweepPool` worker (only
+    fork-inherited closures work, and those require a fresh pool per point).
+    This class carries the same captured configuration as explicit, picklable
+    state, so one pool can serve every parameter point of a sweep.  Calling it
+    is exactly ``run_election(n, a0=..., delay=..., seed=seed, **kwargs)``.
+    """
+
+    __slots__ = ("n", "a0", "delay", "election_kwargs")
+
+    def __init__(
+        self, n: int, a0: float, delay: DelayDistribution, election_kwargs: dict
+    ) -> None:
+        self.n = n
+        self.a0 = a0
+        self.delay = delay
+        self.election_kwargs = election_kwargs
+
+    def __call__(self, seed: int) -> ElectionResult:
+        return run_election(
+            self.n, a0=self.a0, delay=self.delay, seed=seed, **self.election_kwargs
+        )
+
+
 def election_trials(
     n: int,
     trials: int,
@@ -80,6 +109,7 @@ def election_trials(
     delay: DelayDistribution = None,
     label: str = "",
     workers: int = 1,
+    pool: SweepPool = None,
     **election_kwargs,
 ) -> List[ElectionResult]:
     """Run ``trials`` independent elections on a ring of size ``n``.
@@ -87,21 +117,21 @@ def election_trials(
     ``a0`` defaults to :func:`repro.core.analysis.recommended_a0`; ``delay``
     defaults to the canonical exponential ABE channel.  ``workers`` fans the
     trials across processes (seed-for-seed identical results, see
-    :mod:`repro.experiments.parallel`).
+    :mod:`repro.experiments.parallel`); passing a ``pool`` instead reuses one
+    :class:`~repro.experiments.parallel.SweepPool` across the whole sweep
+    (same seeds, same order -- still bit-identical).
     """
     chosen_a0 = a0 if a0 is not None else recommended_a0(n)
     chosen_delay = delay if delay is not None else default_delay()
-
-    def run_one(seed: int) -> ElectionResult:
-        return run_election(
-            n, a0=chosen_a0, delay=chosen_delay, seed=seed, **election_kwargs
-        )
-
+    run_one = ElectionTrial(n, chosen_a0, chosen_delay, election_kwargs)
+    label = label or f"n{n}"
+    if pool is not None:
+        return pool.monte_carlo(run_one, trials=trials, base_seed=base_seed, label=label)
     return monte_carlo(
         run_one,
         trials=trials,
         base_seed=base_seed,
-        label=label or f"n{n}",
+        label=label,
         workers=workers,
     )
 
@@ -112,12 +142,19 @@ def election_sweep(
     base_seed: int,
     *,
     workers: int = 1,
+    pool: SweepPool = None,
     **election_kwargs,
 ) -> Dict[int, List[ElectionResult]]:
-    """Run the election at every ring size in ``sizes``; results keyed by size."""
-    return {
-        n: election_trials(
-            n, trials, base_seed, label=f"n{n}", workers=workers, **election_kwargs
-        )
-        for n in sizes
-    }
+    """Run the election at every ring size in ``sizes``; results keyed by size.
+
+    With ``workers > 1`` and no explicit ``pool``, one shared
+    :class:`~repro.experiments.parallel.SweepPool` is created for the whole
+    sweep instead of forking a fresh pool per size.
+    """
+    with SweepPool.ensure(pool, workers) as shared:
+        return {
+            n: election_trials(
+                n, trials, base_seed, label=f"n{n}", pool=shared, **election_kwargs
+            )
+            for n in sizes
+        }

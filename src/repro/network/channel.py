@@ -9,16 +9,44 @@ arbitrary between any pair of nodes" assumption of the paper's election
 algorithm (Section 3).  :class:`FifoChannel` instead enforces first-in
 first-out delivery for algorithms that need it (e.g. the synchronizers'
 bookkeeping messages).
+
+Hot-path design
+---------------
+``transmit``/``_deliver`` run once per message and dominate experiment wall
+clock now that the engine itself is tuple-based, so the per-message work is
+hoisted to construction time wherever possible:
+
+* the network, simulator and tracer are cached on the channel; when tracing
+  is disabled the cached tracer is ``None``, so the disabled path performs no
+  ``record`` call and never builds the kwargs dicts;
+* iid delay models are prebound (``self._draw = model.sample``), removing two
+  ``isinstance`` dispatches per message; adversarial models keep the slow
+  path;
+* delivery is scheduled through the engine's handle-free
+  :meth:`~repro.sim.engine.Simulator.schedule_call_at` fast path with the
+  bound ``self._deliver`` and the envelope as argument -- no per-message
+  closure, ``Event`` or ``EventHandle``;
+* message counts are plain integer increments on the channel and the network
+  (the network's :class:`~repro.sim.monitor.MetricsCollector` reads them back
+  through externally bound counters);
+* envelopes are recycled through a per-channel free list.  Recycling is
+  guarded by an exact ``sys.getrefcount`` check at the end of ``_deliver``:
+  an envelope that anything else still references (a caller that kept
+  ``transmit``'s return value, a fault-injection wrapper frame, a tracer
+  consumer) is simply left to the garbage collector, so reuse can never be
+  observed.  A recycled envelope is fully reinitialised -- fresh
+  ``envelope_id`` included -- via :meth:`~repro.network.messages.Envelope.renew`.
 """
 
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Any, Optional
+import sys
+from functools import partial
+from typing import TYPE_CHECKING, Any, List, Optional
 
 from repro.network.delays import DelayDistribution
 from repro.network.messages import Envelope
-from repro.sim.events import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.adversary import AdversarialDelay
@@ -26,6 +54,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.node import Node
 
 __all__ = ["Channel", "FifoChannel"]
+
+_getrefcount = getattr(sys, "getrefcount", None)
+
+#: Exact reference count of an envelope at the end of ``_deliver`` when the
+#: only remaining references are the run loop's heap entry, ``_deliver``'s
+#: argument binding and the ``getrefcount`` argument itself.
+_POOLABLE_REFS = 3
+
+#: Per-channel envelope free-list bound; in-flight envelopes live outside the
+#: pool, so this only caps how many parked records a bursty channel keeps.
+_ENVELOPE_POOL_LIMIT = 32
 
 
 class Channel:
@@ -66,39 +105,72 @@ class Channel:
         self.source = source
         self.destination = destination
         self.destination_port = destination_port
-        self.delay_model = delay_model
         self.rng = rng
         self.delay_sampler = delay_sampler
         self.messages_sent = 0
         self.messages_delivered = 0
         self.total_delay = 0.0
         self.max_observed_delay = 0.0
+        # Construction-time hoists for the per-message path.
+        network = source.network
+        self.network: "Network" = network
+        self._simulator = network.simulator
+        self._tracer = network.tracer if network.tracer.enabled else None
+        self._source_uid = source.uid
+        self._destination_uid = destination.uid
+        self._envelope_pool: List[Envelope] = []
+        # Subclasses that bend delivery times (FIFO) override _delivery_time;
+        # detecting the override once lets the base case skip the method call.
+        self._plain_delivery = type(self)._delivery_time is Channel._delivery_time
+        self.delay_model = delay_model  # property: also derives self._draw
+
+    # ------------------------------------------------------------- delay model
+
+    @property
+    def delay_model(self) -> Any:
+        """The channel's delay model (settable; resampling hooks follow it)."""
+        return self._delay_model
+
+    @delay_model.setter
+    def delay_model(self, model: Any) -> None:
+        self._delay_model = model
+        # A block sampler prefetched for a *different* distribution is stale:
+        # drop it so the new model actually governs subsequent draws (the
+        # construction-time assignment keeps the sampler, whose distribution
+        # is the very model being set).
+        sampler = getattr(self, "delay_sampler", None)
+        if sampler is not None and sampler.distribution is not model:
+            self.delay_sampler = None
+        # Prebind the iid sampling method so transmit skips isinstance
+        # dispatch; anything else (adversarial, invalid) takes the slow path,
+        # which validates and raises on truly unsupported models.
+        if isinstance(model, DelayDistribution):
+            self._draw = model.sample
+        else:
+            self._draw = None
 
     # ------------------------------------------------------------------ sends
 
     def _sample_delay(self, payload: Any, send_time: float) -> float:
         sampler = self.delay_sampler
         if sampler is not None:
-            delay = sampler.next()
-            if delay < 0:
-                raise ValueError(f"delay model produced a negative delay: {delay}")
-            return delay
+            return sampler.next()  # blocks are validated at refill time
 
         from repro.network.adversary import AdversarialDelay  # local import, no cycle
 
-        if isinstance(self.delay_model, AdversarialDelay):
-            delay = self.delay_model.delay_for(
+        if isinstance(self._delay_model, AdversarialDelay):
+            delay = self._delay_model.delay_for(
                 source=self.source.uid,
                 destination=self.destination.uid,
                 payload=payload,
                 send_time=send_time,
                 rng=self.rng,
             )
-        elif isinstance(self.delay_model, DelayDistribution):
-            delay = self.delay_model.sample(self.rng)
+        elif isinstance(self._delay_model, DelayDistribution):
+            delay = self._delay_model.sample(self.rng)
         else:
             raise TypeError(
-                f"unsupported delay model {type(self.delay_model)!r}; expected a "
+                f"unsupported delay model {type(self._delay_model)!r}; expected a "
                 "DelayDistribution or AdversarialDelay"
             )
         if delay < 0:
@@ -110,65 +182,120 @@ class Channel:
         return send_time + delay
 
     def transmit(self, payload: Any) -> Envelope:
-        """Send ``payload`` across the channel; returns the in-flight envelope."""
-        network = self.source.network
-        send_time = network.simulator.now
-        delay = self._sample_delay(payload, send_time)
-        deliver_time = self._delivery_time(send_time, delay)
-        envelope = Envelope(
-            payload=payload,
-            source=self.source.uid,
-            destination=self.destination.uid,
-            channel_id=self.channel_id,
-            send_time=send_time,
-            delay=delay,
-            deliver_time=deliver_time,
-        )
+        """Send ``payload`` across the channel; returns the in-flight envelope.
+
+        The returned envelope may be recycled for a later message once this
+        delivery completes, so callers that need its fields beyond that point
+        must copy them rather than let go of the object -- holding a
+        reference is always safe in itself, because the refcount guard then
+        simply skips the recycle.
+        """
+        simulator = self._simulator
+        send_time = simulator._now
+        sampler = self.delay_sampler
+        if sampler is not None:
+            # Inlined sampler.next(): serving a prefetched delay is the whole
+            # point of batch mode, so skip even the method dispatch.  Blocks
+            # are validated non-negative at refill time by the sampler.
+            index = sampler._index
+            if index < sampler._size:
+                sampler._index = index + 1
+                delay = sampler._block[index]
+            else:
+                delay = sampler._refill()[0]
+                sampler._index = 1
+        else:
+            draw = self._draw
+            if draw is not None:
+                delay = draw(self.rng)
+                if delay < 0:
+                    raise ValueError(
+                        f"delay model produced a negative delay: {delay}"
+                    )
+            else:
+                delay = self._sample_delay(payload, send_time)
+        if self._plain_delivery:
+            deliver_time = send_time + delay
+        else:
+            deliver_time = self._delivery_time(send_time, delay)
+        pool = self._envelope_pool
+        if pool:
+            envelope = pool.pop().renew(
+                payload,
+                self._source_uid,
+                self._destination_uid,
+                send_time,
+                delay,
+                deliver_time,
+            )
+        else:
+            envelope = Envelope(
+                payload=payload,
+                source=self._source_uid,
+                destination=self._destination_uid,
+                channel_id=self.channel_id,
+                send_time=send_time,
+                delay=delay,
+                deliver_time=deliver_time,
+            )
         self.messages_sent += 1
-        network.metrics.increment("messages_sent")
-        network.tracer.record(
-            send_time,
-            "send",
-            self.source.uid,
-            to=self.destination.uid,
-            channel=self.channel_id,
-            payload=payload,
-            delay=delay,
-        )
-        network.simulator.schedule_at(
-            deliver_time,
-            lambda: self._deliver(envelope),
-            kind=EventKind.MESSAGE_DELIVERY,
-            payload=envelope,
-        )
+        network = self.network
+        network._messages_sent += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record(
+                send_time,
+                "send",
+                self._source_uid,
+                to=self._destination_uid,
+                channel=self.channel_id,
+                payload=payload,
+                delay=delay,
+            )
+        simulator.schedule_call_at(deliver_time, self._deliver, envelope)
         return envelope
 
     def _deliver(self, envelope: Envelope) -> None:
-        network = self.source.network
+        network = self.network
+        now = self._simulator._now
         self.messages_delivered += 1
-        actual_delay = network.simulator.now - envelope.send_time
+        network._messages_delivered += 1
+        actual_delay = now - envelope.send_time
         self.total_delay += actual_delay
-        self.max_observed_delay = max(self.max_observed_delay, actual_delay)
-        network.metrics.increment("messages_delivered")
-        network.tracer.record(
-            network.simulator.now,
-            "deliver",
-            self.destination.uid,
-            sender=self.source.uid,
-            channel=self.channel_id,
-            payload=envelope.payload,
-            latency=actual_delay,
-        )
-        processing = network.processing_delay
-        if processing is not None:
-            extra = processing.sample(self.rng)
-            network.simulator.schedule(
-                extra,
-                lambda: self.destination.deliver(envelope.payload, self.destination_port),
-                kind=EventKind.PROCESS_STEP,
+        if actual_delay > self.max_observed_delay:
+            self.max_observed_delay = actual_delay
+        payload = envelope.payload
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record(
+                now,
+                "deliver",
+                self._destination_uid,
+                sender=self._source_uid,
+                channel=self.channel_id,
+                payload=payload,
+                latency=actual_delay,
             )
+        processing = network.processing_delay
+        if processing is None:
+            self.destination.deliver(payload, self.destination_port)
         else:
-            self.destination.deliver(envelope.payload, self.destination_port)
+            extra = processing.sample(self.rng)
+            self._simulator.schedule_call(
+                extra,
+                partial(self.destination.deliver, payload),
+                self.destination_port,
+            )
+        # Recycle iff provably unobservable: the exact refcount (run-loop heap
+        # entry + our argument binding + getrefcount argument) proves nothing
+        # else -- sender, wrapper, test -- still holds the envelope.
+        if (
+            _getrefcount is not None
+            and len(self._envelope_pool) < _ENVELOPE_POOL_LIMIT
+            and _getrefcount(envelope) == _POOLABLE_REFS
+        ):
+            envelope.payload = None
+            self._envelope_pool.append(envelope)
 
     # ------------------------------------------------------------------ stats
 

@@ -30,14 +30,14 @@ from repro.network.adversary import AdversarialDelay
 from repro.network.channel import Channel, FifoChannel
 from repro.network.delays import ConstantDelay, DelayDistribution
 from repro.network.node import Node, NodeProgram
-from repro.network.sampling import BlockDelaySampler
+from repro.network.sampling import DEFAULT_BLOCK_SIZE, BlockDelaySampler
 from repro.network.topology import Topology
 from repro.sim.clock import ClockDriftModel, LocalClock
 from repro.sim.engine import Simulator
-from repro.sim.events import Event, EventKind
+from repro.sim.events import EventKind
 from repro.sim.monitor import MetricsCollector
 from repro.sim.rng import RandomSource
-from repro.sim.trace import Tracer
+from repro.sim.trace import NULL_TRACER, Tracer
 
 __all__ = ["NetworkConfig", "Network"]
 
@@ -91,7 +91,13 @@ class NetworkConfig:
         different random stream than per-message sampling, so compare runs
         within one mode.  Ignored for adversarial delay models.
     batch_block_size:
-        Delays prefetched per sampler refill when ``batch_sampling`` is on.
+        Delays prefetched per full-size sampler refill when ``batch_sampling``
+        is on; refills grow geometrically up to this size.  The served delay
+        stream is independent of the block size except for one corner:
+        exact-mode (non-vectorized) samplers combined with
+        ``processing_delay``, where both consume the same channel rng and the
+        refill chunking changes their interleaving (still deterministic per
+        seed; compare such runs at one block size).
     """
 
     topology: Topology
@@ -108,7 +114,7 @@ class NetworkConfig:
     enable_trace: bool = True
     trace_limit: Optional[int] = 100_000
     batch_sampling: bool = False
-    batch_block_size: int = 256
+    batch_block_size: int = DEFAULT_BLOCK_SIZE
 
 
 class Network:
@@ -131,17 +137,30 @@ class Network:
         self.topology = config.topology
         self.simulator = Simulator()
         self.metrics = MetricsCollector()
-        self.tracer = Tracer(enabled=config.enable_trace, max_events=config.trace_limit)
+        # A disabled tracer is the shared NULL_TRACER: channels detect it and
+        # skip their record calls (and the kwargs dicts) entirely.
+        if config.enable_trace:
+            self.tracer = Tracer(enabled=True, max_events=config.trace_limit)
+        else:
+            self.tracer = NULL_TRACER
         self.random_source = RandomSource(config.seed)
         self.processing_delay = config.processing_delay
         self.nodes: List[Node] = []
         self.channels: List[Channel] = []
         self._stop_predicates: List[Callable[[], bool]] = []
         self._started = False
+        # Message counts live as plain integers (single `+= 1` on the per
+        # message path); the metrics collector reads them back so existing
+        # consumers of count()/counters()/summary() see them unchanged.
+        self._messages_sent = 0
+        self._messages_delivered = 0
+        self._deliveries = 0
+        self.metrics.bind_external("messages_sent", lambda: self._messages_sent)
+        self.metrics.bind_external("messages_delivered", lambda: self._messages_delivered)
+        self.metrics.bind_external("deliveries", lambda: self._deliveries)
 
         self._build_nodes(program_factory)
         self._build_channels()
-        self.simulator.add_listener(self._after_event_hook)
 
     # ------------------------------------------------------------------ build
 
@@ -208,9 +227,7 @@ class Network:
 
     # ------------------------------------------------------------------ hooks
 
-    def _after_event_hook(self, event: Event) -> None:
-        if not self._stop_predicates:
-            return
+    def _check_stop_predicates(self) -> None:
         for predicate in self._stop_predicates:
             if predicate():
                 self.simulator.stop()
@@ -219,9 +236,14 @@ class Network:
     def stop_when(self, predicate: Callable[[], bool]) -> None:
         """Stop the simulation as soon as ``predicate()`` becomes true.
 
-        The predicate is evaluated before every event; keep it cheap.
+        The predicate is evaluated before every event; keep it cheap.  The
+        check rides the engine's before-event hook (not an event listener),
+        so it also covers handle-free fast-path deliveries, and runs without
+        predicates cost nothing: the hook is only installed on first use.
         """
         self._stop_predicates.append(predicate)
+        if len(self._stop_predicates) == 1:
+            self.simulator.add_before_event(self._check_stop_predicates)
 
     def request_stop(self) -> None:
         """Programs may call this to end the simulation immediately."""
@@ -264,11 +286,11 @@ class Network:
 
     def messages_sent(self) -> int:
         """Total messages transmitted so far."""
-        return int(self.metrics.count("messages_sent"))
+        return self._messages_sent
 
     def messages_delivered(self) -> int:
         """Total messages delivered so far."""
-        return int(self.metrics.count("messages_delivered"))
+        return self._messages_delivered
 
     def programs(self) -> List[NodeProgram]:
         """The per-node program instances, in uid order."""

@@ -107,7 +107,9 @@ class Node:
         """Hand a delivered payload to the program (called by channels)."""
         if self.program is None:
             raise RuntimeError(f"node {self.uid} has no program attached")
-        self.network.metrics.increment("deliveries")
+        # Per-message hot path: a plain integer increment on the network; the
+        # metrics collector reads it back through an externally bound counter.
+        self.network._deliveries += 1
         self.program.on_receive(payload, in_port)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -19,8 +19,8 @@ Two refill modes exist:
 ``vectorized``
     Blocks come from :meth:`DelayDistribution.sample_array` on a
     ``numpy.random.Generator`` seeded deterministically from the channel's
-    ``random.Random`` stream at sampler construction.  This is the fastest
-    mode (one numpy call per block) and remains a pure function of the master
+    ``random.Random`` stream at the first refill.  This is the fastest mode
+    (one numpy call per block) and remains a pure function of the master
     seed, but the draws are a *different* deterministic stream than the scalar
     path, so results are comparable across runs in this mode rather than with
     per-message sampling.
@@ -28,21 +28,47 @@ Two refill modes exist:
 Distributions that do not implement a vectorized sampler silently fall back to
 exact block refills, so a mixed delay zoo can still run with
 ``batch_sampling`` enabled.
+
+Hot-path notes
+--------------
+``next()`` serves values straight off a plain Python list with a cached block
+length (one compare, one index, one integer store per call -- no numpy scalar
+ever crosses the boundary; vectorized refills are converted with ``tolist()``
+once per block).  Refills grow geometrically from a small first block up to
+``block_size``: a short simulation (one election on a 32-ring uses a handful
+of delays per channel) never pays for delays it will not use, while a long
+sweep converges to full-size refills.  Both refill modes draw values strictly
+in sequence, so the served stream is independent of how it is chunked -- in
+vectorized mode unconditionally (the numpy generator is exclusive to the
+sampler), and in exact mode whenever the channel's ``random.Random`` is
+consumed only by the sampler.  The exception is an exact-mode sampler whose
+rng is *shared* with another consumer (``processing_delay`` draws on the
+same channel stream): there the chunk boundaries determine how the two
+consumers interleave on the stream, so results depend on the block schedule
+-- deterministic per seed, but only comparable between runs with identical
+``batch_block_size``.  The numpy generator is created lazily at the first
+refill, so channels that never transmit do not pay its construction;
+laziness is stream-invariant because the seed is the first draw from the
+channel's otherwise untouched ``random.Random``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Optional
 
 from repro.network.delays import DelayDistribution
 
-__all__ = ["BlockDelaySampler", "DEFAULT_BLOCK_SIZE"]
+__all__ = ["BlockDelaySampler", "DEFAULT_BLOCK_SIZE", "INITIAL_BLOCK_SIZE"]
 
-#: Default number of delays prefetched per refill.  Large enough to amortize
-#: the refill overhead, small enough that short simulations do not waste
-#: noticeable time sampling delays that are never used.
-DEFAULT_BLOCK_SIZE = 256
+#: Default number of delays prefetched per full-size refill.  Large enough to
+#: amortize the refill overhead on sweep-scale runs; short simulations are
+#: protected by the geometric growth schedule, not by this cap.
+DEFAULT_BLOCK_SIZE = 1024
+
+#: Size of the first block.  Chosen to cover a typical per-channel message
+#: count of one election so most channels refill exactly once.
+INITIAL_BLOCK_SIZE = 32
 
 
 class BlockDelaySampler:
@@ -57,13 +83,24 @@ class BlockDelaySampler:
         block-wise; in vectorized mode it is consumed once (to seed the numpy
         generator) and never again.
     block_size:
-        Delays drawn per refill.
+        Delays drawn per full-size refill; earlier refills grow geometrically
+        from :data:`INITIAL_BLOCK_SIZE`.
     vectorized:
         Request the numpy-backed refill path; ignored (with the exact path
         used instead) when the distribution does not support it.
     """
 
-    __slots__ = ("distribution", "rng", "block_size", "_block", "_index", "_gen")
+    __slots__ = (
+        "distribution",
+        "rng",
+        "block_size",
+        "_block",
+        "_index",
+        "_size",
+        "_next_block_size",
+        "_vectorized",
+        "_gen",
+    )
 
     def __init__(
         self,
@@ -83,36 +120,63 @@ class BlockDelaySampler:
         self.block_size = int(block_size)
         self._block: List[float] = []
         self._index = 0
-        if vectorized and distribution.supports_vectorized():
-            import numpy as np
-
-            # One draw from the channel stream pins the whole numpy stream, so
-            # the sampler remains a pure function of (master seed, channel id).
-            self._gen = np.random.default_rng(rng.getrandbits(63))
-        else:
-            self._gen = None
+        self._size = 0
+        self._next_block_size = min(INITIAL_BLOCK_SIZE, self.block_size)
+        self._vectorized = bool(vectorized) and distribution.supports_vectorized()
+        self._gen: Optional[object] = None
 
     @property
     def vectorized(self) -> bool:
         """Whether refills use the numpy fast path."""
-        return self._gen is not None
+        return self._vectorized
 
     def next(self) -> float:
-        """Return the next delay, refilling the block when exhausted."""
+        """Return the next delay, refilling the block when exhausted.
+
+        `Channel.transmit` inlines this serving logic against the private
+        ``_index``/``_size``/``_block``/``_refill`` fields to shave the
+        method call off the per-message path -- any change here must be
+        mirrored there (pinned by the golden batched-election tests).
+        """
         index = self._index
-        block = self._block
-        if index >= len(block):
-            block = self._refill()
-            index = 0
-        self._index = index + 1
-        return block[index]
+        if index < self._size:
+            self._index = index + 1
+            return self._block[index]
+        block = self._refill()
+        self._index = 1
+        return block[0]
 
     def _refill(self) -> List[float]:
-        if self._gen is not None:
-            block = self.distribution.sample_array(self._gen, self.block_size).tolist()
+        count = self._next_block_size
+        if count < self.block_size:
+            self._next_block_size = min(count * 2, self.block_size)
+        if self._vectorized:
+            gen = self._gen
+            if gen is None:
+                import numpy as np
+
+                # One draw from the channel stream pins the whole numpy
+                # stream, so the sampler remains a pure function of
+                # (master seed, channel id) regardless of when it happens.
+                # Generator(PCG64(seed)) is bit-identical to
+                # default_rng(seed) but about half the construction cost,
+                # which matters because every channel of every trial builds
+                # one.
+                gen = self._gen = np.random.Generator(
+                    np.random.PCG64(self.rng.getrandbits(63))
+                )
+            block = self.distribution.sample_array(gen, count).tolist()
         else:
-            block = self.distribution.sample_block(self.rng, self.block_size)
+            block = self.distribution.sample_block(self.rng, count)
+        # Validate per refill, not per served delay: this is the single copy
+        # of the negative-delay check for both next() and the serving that
+        # Channel.transmit inlines.
+        if block and min(block) < 0:
+            raise ValueError(
+                f"delay model produced a negative delay: {min(block)}"
+            )
         self._block = block
+        self._size = len(block)
         return block
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -23,19 +23,39 @@ speed:
 * ``heapq.heappush``/``heappop`` and the queue list are bound to locals inside
   the loops;
 * the listener loop is skipped entirely when no listeners are registered
-  (the common case for experiment sweeps, which disable tracing).
+  (the common case for experiment sweeps, which disable tracing);
+* :meth:`~Simulator.schedule_call` / :meth:`~Simulator.schedule_call_at` are
+  *handle-free* fast paths for fire-and-forget events: they push a plain
+  ``(time, priority, sequence, fn, arg)`` tuple -- no :class:`Event`, no
+  :class:`EventHandle`, no closure, no listener dispatch.  The message
+  delivery path of :class:`~repro.network.channel.Channel` lives here;
+* fired :class:`Event` records whose handles were discarded are recycled
+  through a per-simulator free list, so timer/tick-heavy workloads reach a
+  steady state with no per-event allocation.  Recycling is guarded by an
+  exact ``sys.getrefcount`` check, so an event that is still observable
+  anywhere (a live :class:`EventHandle`, a listener that stored it) is never
+  reused and all handle semantics stay exact.
+
+Because the fast-path entries carry no :class:`Event`, registered listeners
+do not see them.  Components that must observe *every* event regardless of
+how it was scheduled (e.g. :meth:`~repro.network.network.Network.stop_when`
+predicates) use the :meth:`~Simulator.add_before_event` hooks, which the run
+loop invokes before firing each entry of either kind.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import sys
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.sim.events import Event, EventHandle, EventKind
 
-#: Heap entry layout: ``(time, priority, sequence, event)``.  The sequence is
-#: unique per simulator, so comparisons never reach the trailing event object.
+#: Heap entry layouts.  Regular events are ``(time, priority, sequence,
+#: event)``; handle-free fast-path entries are ``(time, priority, sequence,
+#: fn, arg)``.  The sequence is unique per simulator, so heap comparisons
+#: never reach the trailing elements and the two layouts can share one heap.
 QueueEntry = Tuple[float, int, int, Event]
 
 # Module-level bindings: a global load is cheaper than attribute lookup on the
@@ -45,6 +65,18 @@ _heappop = heapq.heappop
 _heapify = heapq.heapify
 _isfinite = math.isfinite
 _INF = math.inf
+_getrefcount = getattr(sys, "getrefcount", None)
+
+#: Exact reference count of a just-fired event that nothing outside the run
+#: loop can observe: the popped ``entry`` tuple, the ``event`` local, and the
+#: ``getrefcount`` argument binding.  Anything above this means a handle,
+#: listener or callback kept a reference, and the event must not be recycled.
+_POOLABLE_REFS = 3
+
+#: Upper bound on the per-simulator event free list; enough to cover every
+#: concurrently pending timer of the largest experiment rings while keeping a
+#: pathological burst from pinning memory.
+_EVENT_POOL_LIMIT = 256
 
 
 class SimulationError(RuntimeError):
@@ -65,7 +97,9 @@ class Simulator:
     it only knows about timed callbacks.  Determinism is guaranteed because
 
     * events are ordered by ``(time, priority, sequence)`` where the sequence
-      is assigned in scheduling order, and
+      is assigned in scheduling order (one shared counter across
+      :meth:`schedule` and the handle-free :meth:`schedule_call` fast path,
+      so the two interleave exactly like two ``schedule`` calls would), and
     * the engine itself never consults a random number generator.
 
     Examples
@@ -73,7 +107,7 @@ class Simulator:
     >>> sim = Simulator()
     >>> fired = []
     >>> _ = sim.schedule(2.0, lambda: fired.append("b"))
-    >>> _ = sim.schedule(1.0, lambda: fired.append("a"))
+    >>> sim.schedule_call(1.0, fired.append, "a")
     >>> sim.run()
     >>> fired
     ['a', 'b']
@@ -90,6 +124,11 @@ class Simulator:
         self._events_scheduled: int = 0
         self._sequence: int = 0
         self._listeners: List[Callable[[Event], None]] = []
+        # Before-event hooks live in a list so run() can bind it once and
+        # still observe hooks installed mid-run (same trick as the listener
+        # list, which is captured but mutated in place).
+        self._before_event: List[Callable[[], None]] = []
+        self._free_events: List[Event] = []
 
     # ------------------------------------------------------------------ time
 
@@ -131,8 +170,8 @@ class Simulator:
         SimulationError
             If ``delay`` is negative or not a finite number.
         """
-        # Inlined schedule_at: this is the single hottest entry point (every
-        # message delivery and clock tick lands here), so the extra method
+        # Inlined schedule_at: this is the hottest handle-returning entry
+        # point (every timer and clock tick lands here), so the extra method
         # call is worth avoiding.  The chained comparison rejects NaN (fails
         # both bounds), +/-inf and negatives in one happy-path check.
         if not (0.0 <= delay < _INF):
@@ -142,7 +181,22 @@ class Simulator:
         time = self._now + delay
         sequence = self._sequence
         self._sequence = sequence + 1
-        event = Event(time, priority, sequence, callback, kind, payload)
+        free = self._free_events
+        if free:
+            # Reuse a fired record from the free list: eight attribute stores
+            # instead of an allocation (the run loop only parks events here
+            # once their refcount proves no handle or listener kept them).
+            event = free.pop()
+            event.time = time
+            event.priority = priority
+            event.sequence = sequence
+            event.callback = callback
+            event.kind = kind
+            event.payload = payload
+            event.cancelled = False
+            event.fired = False
+        else:
+            event = Event(time, priority, sequence, callback, kind, payload)
         _heappush(self._queue, (time, priority, sequence, event))
         self._events_scheduled += 1
         return EventHandle(event)
@@ -169,10 +223,65 @@ class Simulator:
             )
         sequence = self._sequence
         self._sequence = sequence + 1
-        event = Event(time, priority, sequence, callback, kind, payload)
+        free = self._free_events
+        if free:
+            event = free.pop()
+            event.time = time
+            event.priority = priority
+            event.sequence = sequence
+            event.callback = callback
+            event.kind = kind
+            event.payload = payload
+            event.cancelled = False
+            event.fired = False
+        else:
+            event = Event(time, priority, sequence, callback, kind, payload)
         _heappush(self._queue, (time, priority, sequence, event))
         self._events_scheduled += 1
         return EventHandle(event)
+
+    def schedule_call(
+        self, delay: float, fn: Callable[[Any], None], arg: Any = None, priority: int = 0
+    ) -> None:
+        """Handle-free fast path: call ``fn(arg)`` after ``delay`` time units.
+
+        The fire-and-forget sibling of :meth:`schedule`: no :class:`Event` is
+        built, no :class:`EventHandle` is returned (the call cannot be
+        cancelled), and listeners are not dispatched.  Ordering is identical
+        to :meth:`schedule` -- the entry consumes the same shared sequence
+        counter, so fast-path and regular events interleave exactly by
+        scheduling order at equal ``(time, priority)``.
+
+        Passing the receiver as ``arg`` (typically a bound method plus its
+        argument) is what lets the message path avoid allocating a closure
+        per delivery.
+        """
+        if not (0.0 <= delay < _INF):
+            if not _isfinite(delay):
+                raise SimulationError(f"delay must be finite, got {delay!r}")
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        _heappush(self._queue, (self._now + delay, priority, sequence, fn, arg))
+        self._events_scheduled += 1
+
+    def schedule_call_at(
+        self, time: float, fn: Callable[[Any], None], arg: Any = None, priority: int = 0
+    ) -> None:
+        """Handle-free fast path: call ``fn(arg)`` at an absolute time.
+
+        See :meth:`schedule_call`.  This is the entry point of every message
+        delivery (:meth:`~repro.network.channel.Channel.transmit` computes the
+        absolute delivery time from the sampled delay).
+        """
+        if not (time >= self._now):  # also rejects NaN
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        _heappush(self._queue, (time, priority, sequence, fn, arg))
+        self._events_scheduled += 1
 
     def schedule_many(
         self,
@@ -214,8 +323,9 @@ class Simulator:
     def add_listener(self, listener: Callable[[Event], None]) -> None:
         """Register a hook invoked (with the event) just before each event fires.
 
-        Listeners are the integration point for :class:`~repro.sim.trace.Tracer`
-        and :class:`~repro.sim.monitor.MetricsCollector`.
+        Listeners receive only regular :class:`Event` entries; the handle-free
+        :meth:`schedule_call` fast path bypasses them by design.  Use
+        :meth:`add_before_event` to observe every entry.
         """
         self._listeners.append(listener)
 
@@ -223,6 +333,27 @@ class Simulator:
         """Remove a previously registered listener (no-op if absent)."""
         try:
             self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def add_before_event(self, hook: Callable[[], None]) -> None:
+        """Register an argument-less hook invoked before every entry fires.
+
+        Hooks run immediately before *every* live entry -- regular events and
+        handle-free fast-path calls alike -- after the clock has advanced to
+        the entry's time, in registration order.  Unlike listeners they see
+        no event object, which is what lets the fast path skip building one;
+        :meth:`repro.network.network.Network.stop_when` multiplexes its
+        predicates behind a single hook so the no-hook case costs one
+        truthiness check per event.  Adding or removing a hook from a
+        callback during :meth:`run` takes effect from the next event.
+        """
+        self._before_event.append(hook)
+
+    def remove_before_event(self, hook: Callable[[], None]) -> None:
+        """Remove a previously registered before-event hook (no-op if absent)."""
+        try:
+            self._before_event.remove(hook)
         except ValueError:
             pass
 
@@ -238,10 +369,19 @@ class Simulator:
         queue = self._queue
         while queue:
             entry = _heappop(queue)
+            if len(entry) == 5:
+                self._now = entry[0]
+                for hook in self._before_event:
+                    hook()
+                entry[3](entry[4])
+                self._events_processed += 1
+                return True
             event = entry[3]
             if event.cancelled:
                 continue
             self._now = entry[0]
+            for hook in self._before_event:
+                hook()
             listeners = self._listeners
             if listeners:
                 for listener in listeners:
@@ -280,6 +420,15 @@ class Simulator:
         limit = _INF if max_events is None else max_events
         queue = self._queue
         listeners = self._listeners  # the list object is never rebound
+        free = self._free_events
+        free_append = free.append
+        refcount = _getrefcount
+        pooling = refcount is not None
+        pool_limit = _EVENT_POOL_LIMIT
+        poolable_refs = _POOLABLE_REFS
+        # The cell is bound once; in-place mutation keeps mid-run installs
+        # visible, exactly like the listener list.
+        before = self._before_event
         try:
             while queue and not self._stopped:
                 if fired >= limit:
@@ -288,30 +437,61 @@ class Simulator:
                     break
                 if until is not None:
                     # Peek before popping: drain cancelled heads in one pass so
-                    # the horizon check sees the next *live* event.
-                    while queue and queue[0][3].cancelled:
-                        _heappop(queue)
+                    # the horizon check sees the next *live* event.  Fast-path
+                    # entries (length 5) are never cancellable.
+                    while queue:
+                        head = queue[0]
+                        if len(head) == 4 and head[3].cancelled:
+                            _heappop(queue)
+                        else:
+                            break
                     if not queue:
                         continue  # loop condition fails; horizon handling below
                     if queue[0][0] > until:
                         self._now = until
                         break
-                    time, _p, _s, event = _heappop(queue)
+                    entry = _heappop(queue)
+                    is_event = len(entry) == 4
                 else:
                     # No horizon: pop first, skip cancelled events as they come.
-                    time, _p, _s, event = _heappop(queue)
-                    if event.cancelled:
+                    entry = _heappop(queue)
+                    is_event = len(entry) == 4
+                    if is_event and entry[3].cancelled:
                         continue
-                self._now = time
-                if listeners:
-                    for listener in listeners:
-                        listener(event)
-                    if not event.cancelled:  # a listener may cancel mid-flight
+                self._now = entry[0]
+                if before:
+                    for hook in before:
+                        hook()
+                if is_event:
+                    event = entry[3]
+                    if listeners:
+                        for listener in listeners:
+                            listener(event)
+                        if not event.cancelled:  # a listener may cancel mid-flight
+                            event.fired = True
+                            event.callback()
+                        # No cancelled check before pooling: reuse overwrites
+                        # every field (including cancelled), so even a
+                        # listener-cancelled record is safe to park once the
+                        # refcount proves nothing can still observe it.
+                    else:
                         event.fired = True
                         event.callback()
+                    # Recycle the fired record iff provably unobservable: the
+                    # exact refcount (entry tuple + `event` local + getrefcount
+                    # argument) proves no handle, listener or callback kept it,
+                    # so reuse cannot change any observable handle state.
+                    # Parked records keep their stale callback/payload refs --
+                    # the pool is small and they are overwritten on reuse.
+                    if (
+                        pooling
+                        and len(free) < pool_limit
+                        and refcount(event) == poolable_refs
+                    ):
+                        free_append(event)
                 else:
-                    event.fired = True
-                    event.callback()
+                    # Handle-free fast path: no Event, no listeners, one call.
+                    entry[3](entry[4])
                 # Matches step(): an event cancelled by a listener after being
                 # popped live still counts as a processed step (its callback is
                 # suppressed, like the seed engine's Event.fire()).

@@ -10,7 +10,7 @@ algorithms and network components write into; experiments read it afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["Counter", "TimeSeries", "MetricsCollector"]
 
@@ -89,11 +89,17 @@ class MetricsCollector:
         self._counters: Dict[str, Counter] = {}
         self._series: Dict[str, TimeSeries] = {}
         self._marks: Dict[str, float] = {}
+        self._external: Dict[str, Callable[[], float]] = {}
 
     # --------------------------------------------------------------- counters
 
     def counter(self, name: str) -> Counter:
         """Return the counter called ``name``, creating it at zero if needed."""
+        if name in self._external:
+            raise ValueError(
+                f"counter {name!r} is externally backed and cannot be written "
+                "through the collector"
+            )
         counter = self._counters.get(name)
         if counter is None:
             counter = Counter(name)
@@ -104,14 +110,37 @@ class MetricsCollector:
         """Shorthand for ``collector.counter(name).increment(amount)``."""
         self.counter(name).increment(amount)
 
+    def bind_external(self, name: str, getter: Callable[[], float]) -> None:
+        """Expose an externally maintained monotone counter under ``name``.
+
+        The message hot path keeps its counts as plain integer attributes
+        (:class:`~repro.network.network.Network` increments them with a single
+        ``+= 1``); binding them here keeps :meth:`count`, :meth:`counters` and
+        :meth:`summary` working unchanged for readers.  A bound name becomes
+        read-only through the collector -- incrementing it raises, because the
+        write path lives elsewhere.
+        """
+        if name in self._counters:
+            raise ValueError(
+                f"counter {name!r} already has collector-owned state; bind it "
+                "before the first increment"
+            )
+        self._external[name] = getter
+
     def count(self, name: str) -> float:
         """Current value of counter ``name`` (0 if never incremented)."""
+        getter = self._external.get(name)
+        if getter is not None:
+            return float(getter())
         counter = self._counters.get(name)
         return counter.value if counter is not None else 0.0
 
     def counters(self) -> Dict[str, float]:
-        """Snapshot of all counters as a plain dict."""
-        return {name: c.value for name, c in self._counters.items()}
+        """Snapshot of all counters (collector-owned and external) as a dict."""
+        snapshot = {name: c.value for name, c in self._counters.items()}
+        for name, getter in self._external.items():
+            snapshot[name] = float(getter())
+        return snapshot
 
     # ------------------------------------------------------------ time series
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "NULL_TRACER"]
 
 
 @dataclass(frozen=True)
@@ -159,3 +159,41 @@ class Tracer:
         if limit is not None and len(self._events) > limit:
             lines.append(f"... ({len(self._events) - limit} more events)")
         return "\n".join(lines)
+
+
+class NullTracer(Tracer):
+    """A tracer that is disabled by construction and records nothing, ever.
+
+    Used by :class:`~repro.network.network.Network` when tracing is off so
+    that *incidental* trace calls (fault injection, ``program.trace``) remain
+    valid no-ops, while the per-message hot path skips the tracer entirely
+    (channels hold ``None`` instead of a disabled tracer, so neither the
+    ``record`` call nor its kwargs dict is ever built).
+
+    ``enabled`` is pinned to ``False``: flipping it on a shared
+    :data:`NULL_TRACER` cannot silently couple unrelated networks.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False, max_events=0)
+
+    @property  # type: ignore[override]
+    def enabled(self) -> bool:
+        """Always ``False``; a null tracer cannot be switched on."""
+        return False
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        if value:
+            raise ValueError(
+                "NullTracer cannot be enabled; build the Network with "
+                "enable_trace=True instead"
+            )
+
+    def record(self, time, category, subject, **details) -> None:  # noqa: D102
+        return None
+
+
+#: Shared do-nothing tracer handed to every network built with tracing
+#: disabled.  Safe to share because it never accumulates state.
+NULL_TRACER = NullTracer()

@@ -129,6 +129,16 @@ class TestNetworkBatchSampling:
         network = self._echo_network(batch_sampling=False)
         assert all(channel.delay_sampler is None for channel in network.channels)
 
+    def test_reassigning_delay_model_drops_stale_sampler(self):
+        """A sampler prefetched for the old distribution must not survive a
+        delay-model swap (the new model would be silently ignored)."""
+        network = self._echo_network(batch_sampling=True)
+        channel = network.channels[0]
+        assert channel.delay_sampler is not None  # construction keeps it
+        channel.delay_model = ConstantDelay(2.0)
+        assert channel.delay_sampler is None
+        assert channel.delay_model.sample(__import__("random").Random(0)) == 2.0
+
     def test_batched_election_is_deterministic_per_seed(self):
         from repro.core.runner import run_election
 
