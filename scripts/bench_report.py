@@ -17,6 +17,12 @@ run:
     Messages/sec of a relay workload on the real network stack (pooled
     envelopes, handle-free delivery scheduling, null tracer) vs the
     pre-optimization replica (``benchmarks/legacy_message_path.py``).
+``election_core``
+    Ticks/sec of tick-dominated elections on the live election core (plain
+    integer counters, cached activation probability, allocation-free tick
+    rescheduling, identity clock fast path) vs the pre-refactor replica
+    (``benchmarks/legacy_election_core.py``), plus the opt-in ``batch_ticks``
+    shared-round-driver mode.
 ``sampling``
     Per-message delay sampling vs numpy-backed batch sampling
     (``batch_sampling=True``).  ``batched_speedup`` gates on the sampling
@@ -63,6 +69,12 @@ from repro.experiments.runner import trial_seeds  # noqa: E402
 from repro.experiments.workloads import election_trials  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 
+from bench_election_core import (  # noqa: E402
+    A0 as ELECTION_CORE_A0,
+    RING_SIZE as ELECTION_CORE_RING,
+    legacy_ticks_per_second,
+    live_ticks_per_second,
+)
 from bench_engine_microbench import events_per_second  # noqa: E402
 from bench_message_path import (  # noqa: E402
     legacy_messages_per_second,
@@ -102,6 +114,33 @@ def bench_message_path(messages: int, repeats: int) -> dict:
         "legacy_messages_per_sec": round(legacy),
         "speedup_vs_legacy": round(optimized / legacy, 2),
         "relay_messages": messages,
+    }
+
+
+def bench_election_core(repeats: int) -> dict:
+    # Interleave live / legacy / batched so CPU frequency drift hits all
+    # three equally.  The workload (tick-dominated elections; see
+    # benchmarks/bench_election_core.py) is identical across the three
+    # modes, and live-vs-legacy bit-identity is asserted by the differential
+    # tests before these numbers mean anything.
+    live_runs = []
+    legacy_runs = []
+    batched_runs = []
+    for _ in range(repeats):
+        live_runs.append(live_ticks_per_second())
+        legacy_runs.append(legacy_ticks_per_second())
+        batched_runs.append(live_ticks_per_second(batch_ticks=True))
+    live = max(live_runs)
+    legacy = max(legacy_runs)
+    batched = max(batched_runs)
+    return {
+        "ring_size": ELECTION_CORE_RING,
+        "a0": ELECTION_CORE_A0,
+        "ticks_per_sec": round(live),
+        "legacy_ticks_per_sec": round(legacy),
+        "speedup_vs_legacy": round(live / legacy, 2),
+        "batch_ticks_per_sec": round(batched),
+        "batch_ticks_speedup": round(batched / live, 2),
     }
 
 
@@ -277,6 +316,13 @@ def main() -> int:
         f"  {message_path['messages_per_sec']:,} messages/sec "
         f"({message_path['speedup_vs_legacy']}x vs legacy path)"
     )
+    print("benchmarking election core ...", flush=True)
+    election_core = bench_election_core(repeats)
+    print(
+        f"  {election_core['ticks_per_sec']:,} ticks/sec "
+        f"({election_core['speedup_vs_legacy']}x vs legacy core, "
+        f"batch_ticks {election_core['batch_ticks_speedup']}x)"
+    )
     print("benchmarking delay sampling ...", flush=True)
     sampling = bench_sampling(sampling_n, sampling_trials)
     print(
@@ -307,6 +353,7 @@ def main() -> int:
         "cpu_count": os.cpu_count(),
         "engine": engine,
         "message_path": message_path,
+        "election_core": election_core,
         "sampling": sampling,
         "trials": trials,
         "sweep_pool": sweep_pool,

@@ -18,14 +18,26 @@ from repro.network.network import Network, NetworkConfig
 from repro.network.node import NodeProgram
 from repro.network.topology import Topology, bidirectional_ring, unidirectional_ring
 
-__all__ = ["ElectionTally", "LeaderElectionProgram", "RingElectionResult", "run_ring_election"]
+__all__ = [
+    "ElectionTally",
+    "LeaderElectionProgram",
+    "RingElectionResult",
+    "build_ring_election",
+    "run_ring_election",
+]
 
 DelayModel = Union[DelayDistribution, AdversarialDelay]
 
 
 @dataclass
 class ElectionTally:
-    """Shared outcome record for one baseline election run."""
+    """Shared outcome record for one baseline election run.
+
+    ``leaders_elected`` is a plain integer hot-path counter (mirroring
+    :class:`repro.core.election.ElectionStatus`); :meth:`bind_metrics`
+    republishes it through the network's metrics collector under the
+    historical counter name.
+    """
 
     leader_uid: Optional[int] = None
     election_time: Optional[float] = None
@@ -36,6 +48,10 @@ class ElectionTally:
     def decided(self) -> bool:
         """Whether some node has announced itself leader."""
         return self.leader_uid is not None
+
+    def bind_metrics(self, metrics) -> None:
+        """Expose the tally's counters through ``metrics`` (idempotent)."""
+        metrics.bind_external_sum("leaders_elected", self, lambda: self.leaders_elected)
 
 
 class LeaderElectionProgram(NodeProgram):
@@ -52,6 +68,11 @@ class LeaderElectionProgram(NodeProgram):
         self.stop_network_on_election = stop_network_on_election
         self.elected = False
 
+    def bind(self, node) -> None:
+        """Bind to the node and publish the shared tally's counters."""
+        super().bind(node)
+        self.tally.bind_metrics(node.network.metrics)
+
     def declare_leader(self) -> None:
         """Announce this node as the leader and record the outcome."""
         node = self._require_node()
@@ -59,7 +80,6 @@ class LeaderElectionProgram(NodeProgram):
         self.tally.leader_uid = node.uid
         self.tally.election_time = self.now
         self.tally.leaders_elected += 1
-        self.metrics.increment("leaders_elected")
         self.metrics.mark("leader_elected", self.now)
         self.trace("decide", algorithm=type(self).__name__)
         if self.stop_network_on_election:
@@ -90,22 +110,26 @@ class RingElectionResult:
     seed: int
 
 
-def run_ring_election(
+def build_ring_election(
     program_factory: Callable[[int, ElectionTally], LeaderElectionProgram],
     n: int,
     *,
-    algorithm_name: str = "baseline",
     bidirectional: bool = False,
     delay: Optional[DelayModel] = None,
     seed: int = 0,
     fifo: bool = False,
     with_identifiers: bool = True,
     size_known: bool = True,
-    max_events: Optional[int] = None,
-    max_time: Optional[float] = None,
+    batch_sampling: bool = False,
     topology: Optional[Topology] = None,
-) -> RingElectionResult:
-    """Run a baseline leader election on a ring and collect cost metrics.
+) -> tuple:
+    """Construct the network and shared tally for one baseline election run.
+
+    Returns ``(network, tally)``.  Exposed separately from
+    :func:`run_ring_election` (mirroring
+    :func:`repro.core.runner.build_election_network`) so tests and the
+    differential harness can inspect or instrument the network before
+    running it.
 
     Parameters
     ----------
@@ -117,6 +141,9 @@ def run_ring_election(
         seed).  Anonymous algorithms (Itai-Rodeh) set this to ``False``.
     bidirectional:
         Ring orientation; Franklin's algorithm needs both directions.
+    batch_sampling:
+        Draw channel delays through block samplers (a different deterministic
+        random stream; see :class:`~repro.network.network.NetworkConfig`).
     """
     if n < 2:
         raise ValueError("ring elections need n >= 2")
@@ -144,9 +171,45 @@ def run_ring_election(
         size_known=size_known,
         knowledge_factory=knowledge_factory,
         enable_trace=False,
+        batch_sampling=batch_sampling,
     )
     network = Network(config, lambda uid: program_factory(uid, tally))
     network.stop_when(lambda: tally.decided)
+    return network, tally
+
+
+def run_ring_election(
+    program_factory: Callable[[int, ElectionTally], LeaderElectionProgram],
+    n: int,
+    *,
+    algorithm_name: str = "baseline",
+    bidirectional: bool = False,
+    delay: Optional[DelayModel] = None,
+    seed: int = 0,
+    fifo: bool = False,
+    with_identifiers: bool = True,
+    size_known: bool = True,
+    batch_sampling: bool = False,
+    max_events: Optional[int] = None,
+    max_time: Optional[float] = None,
+    topology: Optional[Topology] = None,
+) -> RingElectionResult:
+    """Run a baseline leader election on a ring and collect cost metrics.
+
+    See :func:`build_ring_election` for the parameters.
+    """
+    network, tally = build_ring_election(
+        program_factory,
+        n,
+        bidirectional=bidirectional,
+        delay=delay,
+        seed=seed,
+        fifo=fifo,
+        with_identifiers=with_identifiers,
+        size_known=size_known,
+        batch_sampling=batch_sampling,
+        topology=topology,
+    )
     if max_events is None:
         max_events = 500_000 + 50_000 * n
     network.run(until=max_time, max_events=max_events)

@@ -74,6 +74,7 @@ def run_chang_roberts(
     *,
     delay: Optional[Union[DelayDistribution, AdversarialDelay]] = None,
     seed: int = 0,
+    batch_sampling: bool = False,
     max_events: Optional[int] = None,
 ) -> RingElectionResult:
     """Run Chang-Roberts on a unidirectional ring of size ``n``."""
@@ -84,6 +85,7 @@ def run_chang_roberts(
         bidirectional=False,
         delay=delay,
         seed=seed,
+        batch_sampling=batch_sampling,
         with_identifiers=True,
         max_events=max_events,
     )

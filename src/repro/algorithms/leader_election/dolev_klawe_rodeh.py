@@ -97,6 +97,7 @@ def run_dolev_klawe_rodeh(
     *,
     delay: Optional[Union[DelayDistribution, AdversarialDelay]] = None,
     seed: int = 0,
+    batch_sampling: bool = False,
     max_events: Optional[int] = None,
 ) -> RingElectionResult:
     """Run Dolev-Klawe-Rodeh on a unidirectional FIFO ring of size ``n``."""
@@ -107,6 +108,7 @@ def run_dolev_klawe_rodeh(
         bidirectional=False,
         delay=delay,
         seed=seed,
+        batch_sampling=batch_sampling,
         fifo=True,
         with_identifiers=True,
         max_events=max_events,

@@ -127,6 +127,7 @@ def run_franklin(
     *,
     delay: Optional[Union[DelayDistribution, AdversarialDelay]] = None,
     seed: int = 0,
+    batch_sampling: bool = False,
     max_events: Optional[int] = None,
 ) -> RingElectionResult:
     """Run Franklin's algorithm on a bidirectional FIFO ring of size ``n``."""
@@ -137,6 +138,7 @@ def run_franklin(
         bidirectional=True,
         delay=delay,
         seed=seed,
+        batch_sampling=batch_sampling,
         fifo=True,
         with_identifiers=True,
         max_events=max_events,

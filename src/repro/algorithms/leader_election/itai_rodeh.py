@@ -160,6 +160,7 @@ def run_itai_rodeh(
     delay: Optional[Union[DelayDistribution, AdversarialDelay]] = None,
     seed: int = 0,
     identity_space: Optional[int] = None,
+    batch_sampling: bool = False,
     max_events: Optional[int] = None,
 ) -> RingElectionResult:
     """Run Itai-Rodeh on an anonymous unidirectional ring of size ``n``."""
@@ -170,6 +171,7 @@ def run_itai_rodeh(
         bidirectional=False,
         delay=delay,
         seed=seed,
+        batch_sampling=batch_sampling,
         with_identifiers=False,
         max_events=max_events,
     )

@@ -30,7 +30,15 @@ def _validate_base(a0: float) -> float:
 
 
 class ActivationSchedule(abc.ABC):
-    """Maps the node's hop knowledge ``d`` to an activation probability."""
+    """Maps the node's hop knowledge ``d`` to an activation probability.
+
+    Purity contract: :meth:`probability` must be a pure function of ``d``
+    (no internal state, no randomness).  The election hot loop relies on it
+    -- :class:`~repro.core.election.AbeElectionProgram` caches the returned
+    value per ``d`` and only re-queries the schedule when ``d`` changes, so a
+    stateful schedule would silently be consulted less often than once per
+    tick.
+    """
 
     @abc.abstractmethod
     def probability(self, d: int) -> float:
@@ -52,10 +60,14 @@ class AdaptiveActivation(ActivationSchedule):
 
     def __init__(self, a0: float) -> None:
         self.a0 = _validate_base(a0)
+        # Hoisted complement: probability() is (rarely) called from the
+        # election hot path when d changes, so the subtraction is done once.
+        # Same float arithmetic, bit-identical results.
+        self._decay = 1.0 - self.a0
 
     def probability(self, d: int) -> float:
         self.validate_d(d)
-        return 1.0 - (1.0 - self.a0) ** d
+        return 1.0 - self._decay ** d
 
     def __repr__(self) -> str:
         return f"AdaptiveActivation(a0={self.a0})"

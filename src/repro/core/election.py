@@ -29,17 +29,42 @@ explicit (and configurable) here:
 * **Purging at active nodes** can be switched off (``purge_at_active=False``)
   to run the ablation A2, which demonstrates that purging is essential for the
   linear message complexity.
+
+Hot-path design
+---------------
+The tick handler runs once per node and local time unit -- it dominates the
+event count of every election -- so its bookkeeping mirrors what PR 2 did to
+the message path:
+
+* counters are plain integer attributes on the shared :class:`ElectionStatus`
+  (a single ``+= 1``); the network's
+  :class:`~repro.sim.monitor.MetricsCollector` reads them back through
+  :meth:`~repro.sim.monitor.MetricsCollector.bind_external_sum`, so
+  ``count()``/``counters()``/``summary()`` readers are unchanged and the
+  string-keyed ``increment`` dictionary lookups are gone;
+* the per-node coin flip is prebound (``self._rng_random``) and the
+  activation probability is cached per value of ``d`` (schedules are pure
+  functions of ``d`` by contract -- see
+  :class:`~repro.core.activation.ActivationSchedule`), so a steady-state tick
+  performs no attribute-chain walks, no method dispatch into the schedule and
+  no exponentiation;
+* tick scheduling itself is allocation-free: the per-node
+  :class:`~repro.sim.process.TickProcess` re-arms one event record per tick,
+  and under ``batch_ticks`` (see :func:`repro.core.runner.build_election_network`)
+  a :class:`~repro.sim.process.SharedTickProcess` drives a whole activation
+  round of nodes from a single heap entry.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.activation import ActivationSchedule, AdaptiveActivation
 from repro.core.messages import HopMessage
-from repro.network.node import NodeProgram
+from repro.network.node import Node, NodeProgram
+from repro.sim.process import SharedTickProcess
 
 __all__ = ["NodeState", "ElectionStatus", "AbeElectionProgram"]
 
@@ -67,6 +92,12 @@ class ElectionStatus:
     it); the program that becomes leader fills it in, which gives the runner
     an O(1) termination check and the experiments a single place to read the
     outcome from.
+
+    The integer fields double as the run's hot-path counters: programs bump
+    them with plain ``+= 1`` statements and the network's metrics collector
+    exposes them read-only under the historical counter names (``"ticks"``,
+    ``"activations"``, ``"knockout_messages"``, ``"hop_overflows"``,
+    ``"leaders_elected"``) via :meth:`bind_metrics`.
     """
 
     leader_uid: Optional[int] = None
@@ -82,6 +113,19 @@ class ElectionStatus:
         """Whether some node has declared itself leader."""
         return self.leader_uid is not None
 
+    def bind_metrics(self, metrics) -> None:
+        """Expose this status's plain counters through ``metrics`` (idempotent).
+
+        Called by every program sharing the status; the collector keys the
+        registration on the status object itself, so the counters are summed
+        exactly once per status no matter how many nodes bind it.
+        """
+        metrics.bind_external_sum("ticks", self, lambda: self.ticks)
+        metrics.bind_external_sum("activations", self, lambda: self.activations)
+        metrics.bind_external_sum("knockout_messages", self, lambda: self.knockouts)
+        metrics.bind_external_sum("hop_overflows", self, lambda: self.hop_overflows)
+        metrics.bind_external_sum("leaders_elected", self, lambda: self.leaders_elected)
+
 
 class AbeElectionProgram(NodeProgram):
     """Per-node program implementing the Section 3 election algorithm.
@@ -92,7 +136,8 @@ class AbeElectionProgram(NodeProgram):
         The shared :class:`ElectionStatus` of the run.
     schedule:
         Activation schedule; defaults to the paper's adaptive schedule with
-        ``a0 = 0.3``.
+        ``a0 = 0.3``.  Must be a pure function of ``d`` (the activation
+        probability is cached per ``d`` value).
     tick_period:
         Local-clock period between activation attempts (1 local time unit by
         default, matching "at every clock tick").
@@ -103,6 +148,12 @@ class AbeElectionProgram(NodeProgram):
         Whether to request a simulation stop the moment this node becomes
         leader (the runner's default).  Disable to let residual messages drain
         and observe the post-election quiescence.
+    tick_driver:
+        Optional :class:`~repro.sim.process.SharedTickProcess` batching this
+        node's ticks with its peers' (one heap entry per activation round).
+        The runner injects it under ``batch_ticks=True`` after validating the
+        drift-free clock requirement; when ``None`` the node runs its own
+        :class:`~repro.sim.process.TickProcess`.
     """
 
     def __init__(
@@ -112,6 +163,7 @@ class AbeElectionProgram(NodeProgram):
         tick_period: float = 1.0,
         purge_at_active: bool = True,
         stop_network_on_election: bool = True,
+        tick_driver: Optional[SharedTickProcess] = None,
     ) -> None:
         super().__init__()
         if tick_period <= 0:
@@ -121,12 +173,24 @@ class AbeElectionProgram(NodeProgram):
         self.tick_period = float(tick_period)
         self.purge_at_active = purge_at_active
         self.stop_network_on_election = stop_network_on_election
+        self.tick_driver = tick_driver
         self.state = NodeState.IDLE
         self.d = 1
         self.messages_received = 0
         self.messages_forwarded = 0
         self.times_activated = 0
         self.times_knocked_out = 0
+        # Hot-loop caches, completed at bind()/on_start() time.
+        self._probability = 0.0
+        self._rng_random = None
+
+    # ------------------------------------------------------------------ wiring
+
+    def bind(self, node: Node) -> None:
+        """Bind to the node, prebind the coin flip and publish the counters."""
+        super().bind(node)
+        self._rng_random = node.rng.random
+        self.status.bind_metrics(node.network.metrics)
 
     # ------------------------------------------------------------------ start
 
@@ -145,24 +209,29 @@ class AbeElectionProgram(NodeProgram):
             )
         self.state = NodeState.IDLE
         self.d = 1
+        self._probability = self.schedule.probability(1)
         self.trace("state", state=str(self.state), d=self.d)
-        self.start_ticks(self._on_tick, local_period=self.tick_period)
+        if self.tick_driver is not None:
+            # Join order across nodes is on_start order (uid order), which is
+            # exactly the per-round firing order of the per-node layout.
+            self._tick_process = self.tick_driver.join(self._on_tick)
+        else:
+            self.start_ticks(self._on_tick, local_period=self.tick_period)
 
     # ------------------------------------------------------------------- tick
 
     def _on_tick(self, tick_index: int) -> Optional[bool]:
         """One local clock tick: an idle node may spontaneously activate."""
         self.status.ticks += 1
-        self.metrics.increment("ticks")
-        if self.state is NodeState.PASSIVE or self.state is NodeState.LEADER:
+        state = self.state
+        if state is NodeState.PASSIVE or state is NodeState.LEADER:
             # Passive and leader are absorbing for the tick rule; stop ticking
             # to keep the event queue small.  (Active nodes keep ticking
             # because a knock-out returns them to idle.)
             return False
-        if self.state is not NodeState.IDLE:
+        if state is not NodeState.IDLE:
             return None
-        probability = self.schedule.probability(self.d)
-        if self.rng.random() < probability:
+        if self._rng_random() < self._probability:
             self._activate()
         return None
 
@@ -171,7 +240,6 @@ class AbeElectionProgram(NodeProgram):
         self.state = NodeState.ACTIVE
         self.times_activated += 1
         self.status.activations += 1
-        self.metrics.increment("activations")
         self.trace("state", state=str(self.state), d=self.d)
         self.send(RING_PORT, HopMessage(hop=1))
 
@@ -184,7 +252,12 @@ class AbeElectionProgram(NodeProgram):
                 f"ABE election nodes only understand HopMessage, got {payload!r}"
             )
         self.messages_received += 1
-        self.d = max(self.d, payload.hop)
+        hop = payload.hop
+        if hop > self.d:
+            self.d = hop
+            # d changed: refresh the cached activation probability (schedules
+            # are pure in d, so this is the only recompute point).
+            self._probability = self.schedule.probability(hop)
 
         if self.state is NodeState.IDLE:
             self._receive_while_idle(payload)
@@ -204,12 +277,10 @@ class AbeElectionProgram(NodeProgram):
             # verification layer can flag it instead of silently mutating
             # behaviour.
             self.status.hop_overflows += 1
-            self.metrics.increment("hop_overflows")
         forwarded = payload.forwarded(new_hop, knocked_out_idle)
         self.messages_forwarded += 1
         if knocked_out_idle:
             self.status.knockouts += 1
-            self.metrics.increment("knockout_messages")
         self.send(RING_PORT, forwarded)
 
     def _receive_while_idle(self, payload: HopMessage) -> None:
@@ -253,7 +324,6 @@ class AbeElectionProgram(NodeProgram):
         self.status.leader_uid = node.uid
         self.status.election_time = self.now
         self.status.leaders_elected += 1
-        self.metrics.increment("leaders_elected")
         self.metrics.mark("leader_elected", self.now)
         self.trace("decide", state=str(self.state), hop=payload.hop)
         if self.stop_network_on_election:

@@ -25,6 +25,7 @@ from repro.network.delays import DelayDistribution, ExponentialDelay
 from repro.network.network import Network, NetworkConfig
 from repro.network.topology import unidirectional_ring
 from repro.sim.clock import ClockDriftModel
+from repro.sim.process import SharedTickProcess
 
 __all__ = ["ElectionResult", "run_election", "run_election_on_network"]
 
@@ -121,12 +122,24 @@ def build_election_network(
     validate_model: bool = True,
     expected_delay_bound: Optional[float] = None,
     batch_sampling: bool = False,
+    batch_ticks: bool = False,
 ) -> tuple:
     """Construct the ring network and shared status for one election run.
 
     Returns ``(network, status)``.  Exposed separately from
     :func:`run_election` so tests and examples can inspect or instrument the
     network before running it.
+
+    ``batch_ticks`` drives every node's clock ticks from a single
+    :class:`~repro.sim.process.SharedTickProcess` heap entry per activation
+    round instead of one event per node and tick.  It requires drift-free
+    unit-rate clocks (all ticks then land at the same instants, in uid order
+    -- exactly the per-node firing order).  Election outcomes, message
+    counts, times and metric counters are preserved for continuous delay
+    models (a delivery then never ties a tick instant, which is the only way
+    the coarser event granularity could reorder work); the engine-level
+    ``events_processed`` necessarily differs, so compare that figure within
+    one mode, as with ``batch_sampling``.
     """
     if n < 2:
         raise ValueError(f"the election algorithm needs a ring of size n >= 2, got {n}")
@@ -170,6 +183,17 @@ def build_election_network(
         )
 
     network = Network(config, program_factory)
+    if batch_ticks:
+        if clock_bounds != (1.0, 1.0) or clock_drift_factory is not None:
+            raise ValueError(
+                "batch_ticks requires drift-free unit-rate clocks "
+                "(clock_bounds=(1.0, 1.0) and no clock_drift_factory): with "
+                "drifting clocks the nodes' ticks do not share instants and "
+                "cannot ride one shared round event"
+            )
+        driver = SharedTickProcess(network.simulator, period=tick_period)
+        for node in network.nodes:
+            node.program.tick_driver = driver
     return network, status
 
 
@@ -220,6 +244,7 @@ def run_election(
     validate_model: bool = True,
     expected_delay_bound: Optional[float] = None,
     batch_sampling: bool = False,
+    batch_ticks: bool = False,
     max_events: Optional[int] = None,
     max_time: Optional[float] = None,
 ) -> ElectionResult:
@@ -254,6 +279,7 @@ def run_election(
         validate_model=validate_model,
         expected_delay_bound=expected_delay_bound,
         batch_sampling=batch_sampling,
+        batch_ticks=batch_ticks,
     )
     return run_election_on_network(
         network, status, max_events=max_events, max_time=max_time, a0=a0

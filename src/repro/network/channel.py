@@ -134,13 +134,25 @@ class Channel:
     @delay_model.setter
     def delay_model(self, model: Any) -> None:
         self._delay_model = model
-        # A block sampler prefetched for a *different* distribution is stale:
-        # drop it so the new model actually governs subsequent draws (the
-        # construction-time assignment keeps the sampler, whose distribution
-        # is the very model being set).
+        # A block sampler holding delays prefetched from a *different*
+        # distribution is stale: its remaining draws must never be served
+        # under the new model.  A batch-configured channel gets a *fresh*
+        # sampler for the new distribution (continuing the same channel rng
+        # stream), so swapping models mid-run neither serves stale draws nor
+        # silently degrades the channel to per-message sampling.  The
+        # construction-time assignment keeps the original sampler, whose
+        # distribution is the very model being set.
         sampler = getattr(self, "delay_sampler", None)
         if sampler is not None and sampler.distribution is not model:
-            self.delay_sampler = None
+            if isinstance(model, DelayDistribution):
+                from repro.network.sampling import BlockDelaySampler  # no cycle
+
+                self.delay_sampler = BlockDelaySampler(
+                    model, self.rng, block_size=sampler.block_size
+                )
+            else:
+                # Adversarial models cannot be block-sampled.
+                self.delay_sampler = None
         # Prebind the iid sampling method so transmit skips isinstance
         # dispatch; anything else (adversarial, invalid) takes the slow path,
         # which validates and raises on truly unsupported models.
@@ -148,6 +160,17 @@ class Channel:
             self._draw = model.sample
         else:
             self._draw = None
+
+    def set_delay_model(self, model: Any) -> None:
+        """Swap the delay model mid-run (explicit spelling of the property set).
+
+        Guarantees audited by ``tests/test_network_channels_nodes.py``:
+        delays prefetched for the previous distribution are discarded, a
+        batch-sampling channel keeps batch sampling under the new
+        distribution, and a FIFO channel's delivery-order clamp is preserved
+        (the no-overtaking history is per-channel state, not per-model).
+        """
+        self.delay_model = model
 
     # ------------------------------------------------------------------ sends
 

@@ -79,16 +79,29 @@ class FaultInjector:
     before running.  The injector monkey-wraps channel delivery and node
     delivery hooks; the wrapped objects keep functioning normally for
     unaffected traffic.
+
+    The fault tallies are plain integer attributes (the drop check runs once
+    per message on lossy channels); the network's metrics collector reads
+    them back under the historical counter names (``"messages_dropped"``,
+    ``"nodes_crashed"``, ``"deliveries_to_crashed"``).  Several injectors on
+    one network sum, exactly like repeated string-keyed increments did.
     """
 
     network: Network
     rng: Optional[random.Random] = None
     messages_dropped: int = 0
+    deliveries_to_crashed: int = 0
     nodes_crashed: List[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.rng is None:
             self.rng = self.network.random_source.stream("faults")
+        metrics = self.network.metrics
+        metrics.bind_external_sum("messages_dropped", self, lambda: self.messages_dropped)
+        metrics.bind_external_sum("nodes_crashed", self, lambda: len(self.nodes_crashed))
+        metrics.bind_external_sum(
+            "deliveries_to_crashed", self, lambda: self.deliveries_to_crashed
+        )
 
     # ------------------------------------------------------------------ loss
 
@@ -109,7 +122,6 @@ class FaultInjector:
         def lossy_deliver(envelope):  # noqa: ANN001 - matches wrapped signature
             if injector.rng.random() < loss_probability:
                 injector.messages_dropped += 1
-                injector.network.metrics.increment("messages_dropped")
                 injector.network.tracer.record(
                     injector.network.simulator.now,
                     "drop",
@@ -136,7 +148,6 @@ class FaultInjector:
 
     def _crash_now(self, node: Node) -> None:
         self.nodes_crashed.append(node.uid)
-        self.network.metrics.increment("nodes_crashed")
         self.network.tracer.record(
             self.network.simulator.now, "crash", node.uid
         )
@@ -145,7 +156,7 @@ class FaultInjector:
             program.stop_ticks()
 
         def swallow(payload, in_port):  # noqa: ANN001 - matches wrapped signature
-            self.network.metrics.increment("deliveries_to_crashed")
+            self.deliveries_to_crashed += 1
 
         node.deliver = swallow  # type: ignore[method-assign]
 

@@ -33,7 +33,12 @@ from repro.sim.clock import (
     SinusoidalDrift,
 )
 from repro.sim.rng import RandomSource, derive_seed
-from repro.sim.process import PeriodicProcess, TickProcess
+from repro.sim.process import (
+    PeriodicProcess,
+    SharedTickMembership,
+    SharedTickProcess,
+    TickProcess,
+)
 from repro.sim.monitor import Counter, MetricsCollector, TimeSeries
 from repro.sim.trace import TraceEvent, Tracer
 
@@ -51,6 +56,8 @@ __all__ = [
     "RandomSource",
     "derive_seed",
     "PeriodicProcess",
+    "SharedTickProcess",
+    "SharedTickMembership",
     "TickProcess",
     "Counter",
     "MetricsCollector",

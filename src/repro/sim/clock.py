@@ -195,6 +195,23 @@ class LocalClock:
         self._start_real = float(start_real)
         self._start_local = float(start_local)
         self._segment_index = 0
+        # Identity fast path: a drift-free clock at rate exactly 1 starting at
+        # (0, 0) maps real time to local time by the identity, *bit for bit*:
+        # its segments are [k, k+1) with integer endpoints (sums of 1.0 are
+        # exact), ``t - k`` is exact by Sterbenz's lemma for t in [k, k+1),
+        # and ``k + (t - k)`` therefore rounds back to t.  The segment walk --
+        # one segment per real time unit, plus a binary search per read --
+        # dominated the election tick path, so the default configuration
+        # (every experiment runs drift-free clocks) skips it entirely.  Rates
+        # != 1, drifting models, clamping and non-zero starts keep the full
+        # piecewise map.
+        self._identity = (
+            type(drift_model) is ConstantRateDrift
+            and drift_model.rate == 1.0
+            and self.s_low <= 1.0 <= self.s_high
+            and self._start_real == 0.0
+            and self._start_local == 0.0
+        )
 
     # ------------------------------------------------------------ internals
 
@@ -253,6 +270,8 @@ class LocalClock:
             raise ValueError(
                 f"real_time {real_time} precedes the clock start {self._start_real}"
             )
+        if self._identity:
+            return real_time
         return self._segment_for_real(real_time).local_at(real_time)
 
     def elapsed_local(self, real_t1: float, real_t2: float) -> float:
@@ -267,6 +286,8 @@ class LocalClock:
             raise ValueError(
                 f"local_time {local_time} precedes the clock start {self._start_local}"
             )
+        if self._identity:
+            return local_time
         # Extend until the cached map covers the requested local time.  Each
         # segment advances local time by at least s_low * length, so this
         # terminates.
@@ -291,6 +312,11 @@ class LocalClock:
         advance by ``local_duration``."""
         if local_duration < 0:
             raise ValueError("local_duration must be non-negative")
+        if self._identity:
+            # Exactly what the segment walk computes for the identity map --
+            # including the float rounding of the round trip, which is why
+            # this is written as two operations and not ``local_duration``.
+            return (from_real + local_duration) - from_real
         target_local = self.local_time(from_real) + local_duration
         return self.real_time_for_local(target_local) - from_real
 

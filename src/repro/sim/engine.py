@@ -240,6 +240,43 @@ class Simulator:
         self._events_scheduled += 1
         return EventHandle(event)
 
+    def reschedule(self, handle: EventHandle, delay: float) -> None:
+        """Re-arm a *fired* event's record ``delay`` time units from now.
+
+        The zero-allocation sibling of :meth:`schedule` for self-repeating
+        work: :class:`~repro.sim.process.TickProcess` and friends hold one
+        :class:`EventHandle` for their whole lifetime and re-arm it after
+        every firing, so steady-state ticking builds no Event, no handle and
+        no closure.  Ordering is identical to a fresh :meth:`schedule` call --
+        the entry consumes the same shared sequence counter -- and the
+        handle's ``cancel``/``fired`` semantics are unchanged (priority and
+        kind are preserved from the original scheduling).
+
+        Raises
+        ------
+        SimulationError
+            If the event has not fired (it would still be in the queue, and
+            re-pushing it would corrupt the heap) or ``delay`` is invalid.
+        """
+        event = handle._event
+        if not event.fired:
+            raise SimulationError(
+                "reschedule requires a handle whose event has already fired"
+            )
+        if not (0.0 <= delay < _INF):
+            if not _isfinite(delay):
+                raise SimulationError(f"delay must be finite, got {delay!r}")
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event.time = time
+        event.sequence = sequence
+        event.cancelled = False
+        event.fired = False
+        _heappush(self._queue, (time, event.priority, sequence, event))
+        self._events_scheduled += 1
+
     def schedule_call(
         self, delay: float, fn: Callable[[Any], None], arg: Any = None, priority: int = 0
     ) -> None:

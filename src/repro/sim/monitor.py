@@ -90,6 +90,10 @@ class MetricsCollector:
         self._series: Dict[str, TimeSeries] = {}
         self._marks: Dict[str, float] = {}
         self._external: Dict[str, Callable[[], float]] = {}
+        # Summed external bindings: name -> [(source, getter), ...].  The
+        # aggregate getter for each name also lives in ``_external`` so the
+        # read paths below treat both binding styles uniformly.
+        self._external_sums: Dict[str, List[Tuple[object, Callable[[], float]]]] = {}
 
     # --------------------------------------------------------------- counters
 
@@ -125,7 +129,51 @@ class MetricsCollector:
                 f"counter {name!r} already has collector-owned state; bind it "
                 "before the first increment"
             )
+        if name in self._external_sums:
+            raise ValueError(
+                f"counter {name!r} is already bound via bind_external_sum; "
+                "mixed binding styles for one name are not supported"
+            )
         self._external[name] = getter
+
+    def bind_external_sum(
+        self, name: str, source: object, getter: Callable[[], float]
+    ) -> None:
+        """Accumulate an externally maintained plain counter under ``name``.
+
+        The election hot loop keeps its counts as plain integer attributes on
+        a *shared* status object that every per-node program holds.  Each
+        program binds that object here on :meth:`~repro.network.node.NodeProgram.bind`;
+        re-binding the **same** ``source`` is a no-op, so n programs sharing
+        one status register exactly one getter without coordinating.  Distinct
+        sources under one name (e.g. two :class:`~repro.network.faults.FaultInjector`
+        instances on one network) are summed, matching what repeated
+        collector-owned increments used to produce.
+
+        Unlike :meth:`bind_external` bindings, a summed counter appears in
+        :meth:`counters`/:meth:`summary` only while its value is non-zero --
+        exactly when the string-keyed ``increment`` calls it replaces would
+        have created the counter.  :meth:`count` works regardless.
+        """
+        if name in self._counters:
+            raise ValueError(
+                f"counter {name!r} already has collector-owned state; bind it "
+                "before the first increment"
+            )
+        group = self._external_sums.get(name)
+        if group is None:
+            if name in self._external:
+                raise ValueError(
+                    f"counter {name!r} is already bound via bind_external; "
+                    "mixed binding styles for one name are not supported"
+                )
+            group = []
+            self._external_sums[name] = group
+            self._external[name] = lambda: sum(read() for _, read in group)
+        for existing, _ in group:
+            if existing is source:
+                return
+        group.append((source, getter))
 
     def count(self, name: str) -> float:
         """Current value of counter ``name`` (0 if never incremented)."""
@@ -138,8 +186,14 @@ class MetricsCollector:
     def counters(self) -> Dict[str, float]:
         """Snapshot of all counters (collector-owned and external) as a dict."""
         snapshot = {name: c.value for name, c in self._counters.items()}
+        sums = self._external_sums
         for name, getter in self._external.items():
-            snapshot[name] = float(getter())
+            value = float(getter())
+            if value == 0.0 and name in sums:
+                # Summed bindings mirror increment-created counters: a name
+                # nobody has counted yet does not exist in the snapshot.
+                continue
+            snapshot[name] = value
         return snapshot
 
     # ------------------------------------------------------------ time series

@@ -5,17 +5,35 @@ flips a coin.  :class:`TickProcess` schedules those ticks according to a
 node's :class:`~repro.sim.clock.LocalClock`, translating local tick intervals
 into real-time event delays.  :class:`PeriodicProcess` is the simpler
 real-time-periodic variant used by synchronizers and monitors.
+
+Hot-path notes
+--------------
+Ticks dominate the event count of every election (each node flips a coin per
+local time unit), so the repeating processes here are allocation-free at
+steady state: each keeps exactly one :class:`~repro.sim.events.Event` (via its
+:class:`~repro.sim.events.EventHandle`) alive and re-arms it after every
+firing through :meth:`~repro.sim.engine.Simulator.reschedule`, which reuses
+the record and consumes the same shared sequence counter -- event ordering is
+bit-identical to the schedule-per-tick code it replaced.
+
+:class:`SharedTickProcess` goes one step further for the drift-free case:
+when every node's clock runs at rate 1 and all share one tick period, their
+ticks land at the same instants, so a *single* heap entry per round can drive
+every node's callback in join order.  That changes the engine-level event
+granularity (one event per round instead of one per node), which is why it is
+opt-in -- see ``batch_ticks`` on :func:`repro.core.runner.build_election_network`
+for the semantics contract.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.sim.clock import LocalClock
 from repro.sim.engine import Simulator
 from repro.sim.events import EventHandle, EventKind
 
-__all__ = ["PeriodicProcess", "TickProcess"]
+__all__ = ["PeriodicProcess", "TickProcess", "SharedTickProcess", "SharedTickMembership"]
 
 
 class PeriodicProcess:
@@ -71,7 +89,9 @@ class PeriodicProcess:
         if result is False or self._stopped:
             self._stopped = True
             return
-        self._handle = self._simulator.schedule(self._period, self._fire, kind=self._kind)
+        # The handle's event has just fired, so its record can be re-armed in
+        # place: no allocation, identical ordering semantics.
+        self._simulator.reschedule(self._handle, self._period)
 
 
 class TickProcess:
@@ -127,7 +147,14 @@ class TickProcess:
         # Guard against a zero delay caused by floating point rounding: a zero
         # delay would livelock the simulator at a single instant.
         real_delay = max(real_delay, 1e-12)
-        self._handle = self._simulator.schedule(real_delay, self._fire, kind=self._kind)
+        handle = self._handle
+        if handle is not None and handle.fired:
+            # Steady state: re-arm the one event record this process owns.
+            self._simulator.reschedule(handle, real_delay)
+        else:
+            self._handle = self._simulator.schedule(
+                real_delay, self._fire, kind=self._kind
+            )
 
     def _fire(self) -> None:
         if self._stopped:
@@ -138,3 +165,146 @@ class TickProcess:
             self._stopped = True
             return
         self._schedule_next()
+
+
+class SharedTickMembership:
+    """One callback's slot in a :class:`SharedTickProcess`.
+
+    Duck-types the :class:`TickProcess` surface the election program uses
+    (``stop()``, ``stopped``, ``ticks``), so a program can hold either
+    interchangeably.
+    """
+
+    __slots__ = ("callback", "count", "stopped", "_driver")
+
+    def __init__(self, driver: "SharedTickProcess", callback: Callable[[int], Optional[bool]]) -> None:
+        self._driver = driver
+        self.callback = callback
+        self.count = 0
+        self.stopped = False
+
+    @property
+    def ticks(self) -> int:
+        """Number of ticks delivered to this member so far."""
+        return self.count
+
+    def stop(self) -> None:
+        """Deregister from the driver; no further ticks are delivered."""
+        if self.stopped:
+            return
+        self.stopped = True
+        self._driver._member_stopped()
+
+
+class SharedTickProcess:
+    """One heap entry per tick round, shared by every joined callback.
+
+    All members tick on the driver's **shared round grid** -- every
+    ``period`` from the (re)arming join -- in join order; a callback
+    returning ``False`` or an explicit ``membership.stop()`` removes the
+    member, and the driver cancels its pending event once nobody is left,
+    keeping the queue small.
+
+    For members that join at the instant the driver arms (the election
+    runner's case: every ``on_start`` runs at time 0, before the first
+    round), this is semantically equivalent to one :class:`TickProcess` per
+    member **when every member's clock is drift-free at rate 1 and all share
+    one period** -- the per-node processes would tick at the same instants,
+    in the same (uid) order.  A member joining *between* rounds instead
+    first ticks at the already-armed next grid round, which can be sooner
+    than the full period a fresh :class:`TickProcess` would wait: a private
+    per-member offset grid is exactly what sharing one heap entry gives up.
+
+    What changes is engine-level accounting: the simulator processes one
+    event per *round* instead of one per *node and round*, so
+    ``events_processed`` differs from the per-node layout (all simulation
+    outcomes -- states, messages, times, metric counts -- are preserved for
+    delay models that never land a delivery exactly on a tick instant; see
+    the ``batch_ticks`` documentation in :mod:`repro.core.runner`).  Callers
+    are responsible for validating the drift-free clock requirement.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        period: float = 1.0,
+        kind: EventKind = EventKind.CLOCK_TICK,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._simulator = simulator
+        self._period = float(period)
+        self._kind = kind
+        self._members: List[SharedTickMembership] = []
+        self._live = 0
+        self._rounds = 0
+        self._in_fire = False
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def rounds(self) -> int:
+        """Number of tick rounds fired so far."""
+        return self._rounds
+
+    @property
+    def live_members(self) -> int:
+        """Number of members still receiving ticks."""
+        return self._live
+
+    def join(self, callback: Callable[[int], Optional[bool]]) -> SharedTickMembership:
+        """Register ``callback``; its first tick is the next grid round.
+
+        If the driver is idle (first join, or everyone had left), that round
+        is armed one period from now.  If a round is already pending, the
+        member rides it -- see the class docstring for why a join between
+        rounds therefore waits *less* than a full period.  A member joining
+        mid-round (from another member's callback) is not swept in the
+        current round; its first tick is the round after.
+        """
+        membership = SharedTickMembership(self, callback)
+        self._members.append(membership)
+        self._live += 1
+        if not self._in_fire:
+            self._arm()
+        return membership
+
+    def _arm(self) -> None:
+        handle = self._handle
+        if handle is not None and handle.fired:
+            self._simulator.reschedule(handle, self._period)
+        elif handle is None or handle.cancelled:
+            # First arm, or the previous pending event was cancelled when the
+            # last member left (the stale entry is skipped at pop).
+            self._handle = self._simulator.schedule(
+                self._period, self._fire, kind=self._kind
+            )
+
+    def _member_stopped(self) -> None:
+        self._live -= 1
+        if self._live == 0 and not self._in_fire and self._handle is not None:
+            self._handle.cancel()
+
+    def _fire(self) -> None:
+        members = self._members
+        self._rounds += 1
+        self._in_fire = True
+        try:
+            # Bounded sweep: members joining during the round are appended
+            # behind this snapshot length and first tick next round.
+            for index in range(len(members)):
+                member = members[index]
+                if member.stopped:
+                    continue
+                result = member.callback(member.count)
+                member.count += 1
+                if result is False and not member.stopped:
+                    member.stopped = True
+                    self._live -= 1
+        finally:
+            self._in_fire = False
+        if self._live == 0:
+            return  # the fired handle is re-armed by the next join, if any
+        if len(members) > 2 * self._live:
+            self._members = [m for m in members if not m.stopped]
+        self._arm()

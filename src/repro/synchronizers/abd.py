@@ -84,6 +84,14 @@ class AbdSynchronizerProgram(SynchronizerProgram):
         self.safety_margin = float(safety_margin)
         self.late_messages = 0
 
+    def bind(self, node) -> None:
+        """Additionally publish the shared late-message counter."""
+        super().bind(node)
+        status = self.status
+        node.network.metrics.bind_external_sum(
+            "late_messages", status, lambda: status.late_messages
+        )
+
     # ----------------------------------------------------------------- timing
 
     def round_length(self) -> float:
@@ -123,6 +131,5 @@ class AbdSynchronizerProgram(SynchronizerProgram):
             # it inevitable eventually.
             self.late_messages += 1
             self.status.late_messages += 1
-            self.metrics.increment("late_messages")
             return
         self.record_algorithm_payload(payload.round_index, port, payload.payload)

@@ -37,17 +37,40 @@ DelayModel = Union[DelayDistribution, AdversarialDelay]
 
 @dataclass
 class SynchronizerStatus:
-    """Shared progress record for one synchronized run."""
+    """Shared progress record for one synchronized run.
+
+    The message/round tallies are the run's hot-path counters: programs bump
+    them with plain ``+= 1`` statements (one classification per sent message
+    is the synchronizers' per-message overhead) and :meth:`bind_metrics`
+    republishes them through the network's metrics collector under the
+    historical counter names, so ``metrics.count("algorithm_messages")`` et
+    al. keep working unchanged for readers.
+    """
 
     total_nodes: int = 0
     finished_nodes: int = 0
     late_messages: int = 0
     max_round_completed: int = -1
+    algorithm_messages: int = 0
+    control_messages: int = 0
+    rounds_completed: int = 0
 
     @property
     def all_finished(self) -> bool:
         """Whether every node has completed its final round."""
         return self.total_nodes > 0 and self.finished_nodes >= self.total_nodes
+
+    def bind_metrics(self, metrics) -> None:
+        """Expose the shared counters through ``metrics`` (idempotent)."""
+        metrics.bind_external_sum(
+            "algorithm_messages", self, lambda: self.algorithm_messages
+        )
+        metrics.bind_external_sum(
+            "control_messages", self, lambda: self.control_messages
+        )
+        metrics.bind_external_sum(
+            "rounds_completed", self, lambda: self.rounds_completed
+        )
 
 
 class SynchronizerProgram(NodeProgram):
@@ -87,6 +110,11 @@ class SynchronizerProgram(NodeProgram):
 
     # ----------------------------------------------------------------- set-up
 
+    def bind(self, node) -> None:
+        """Bind to the node and publish the shared status counters."""
+        super().bind(node)
+        self.status.bind_metrics(node.network.metrics)
+
     def on_start(self) -> None:
         node = self._require_node()
         self.process.setup(
@@ -106,13 +134,13 @@ class SynchronizerProgram(NodeProgram):
     def send_algorithm(self, port: int, payload: Any) -> None:
         """Send a client-algorithm payload (counted as algorithm traffic)."""
         self.algorithm_messages_sent += 1
-        self.metrics.increment("algorithm_messages")
+        self.status.algorithm_messages += 1
         self.send(port, payload)
 
     def send_control(self, port: int, payload: Any) -> None:
         """Send a synchronizer control payload (counted as control traffic)."""
         self.control_messages_sent += 1
-        self.metrics.increment("control_messages")
+        self.status.control_messages += 1
         self.send(port, payload)
 
     def record_algorithm_payload(self, round_index: int, in_port: int, payload: Any) -> None:
@@ -136,7 +164,7 @@ class SynchronizerProgram(NodeProgram):
         self.status.max_round_completed = max(
             self.status.max_round_completed, round_index
         )
-        self.metrics.increment("rounds_completed")
+        self.status.rounds_completed += 1
         next_round = round_index + 1
         if next_round >= self.total_rounds:
             self._finish()

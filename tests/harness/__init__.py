@@ -1,0 +1,13 @@
+"""Reusable differential / golden test harness (see ``differential.py``)."""
+
+from harness.differential import (  # noqa: F401
+    SCENARIOS,
+    assert_matches_golden,
+    canonical,
+    compare_fingerprints,
+    fingerprint_network,
+    golden_path,
+    load_golden,
+    run_scenario,
+    save_golden,
+)

@@ -1,0 +1,143 @@
+"""Regression tests: swapping a channel's delay model mid-run is stale-free.
+
+Satellite audit of ``Channel.set_delay_model``: a block sampler prefetches
+delays ahead of use, so the dangerous failure mode of a mid-run delay-model
+swap is *serving a draw sampled from the previous distribution*.  On a FIFO +
+batch-sampling channel that bug would be doubly invisible -- the FIFO clamp
+already reorders delivery times, masking a stale delay.  These tests pin the
+contract:
+
+* after a swap, every served delay comes from the new distribution (no stale
+  prefetched draws, however many were left in the block);
+* a batch-configured channel stays batch-configured (fresh sampler, same
+  block size) instead of silently degrading to per-message sampling;
+* the FIFO no-overtaking clamp survives the swap (delivery order is
+  per-channel history, not per-model state);
+* the whole procedure is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.network.delays import ConstantDelay, ExponentialDelay
+from repro.network.network import Network, NetworkConfig
+from repro.network.node import NodeProgram
+from repro.network.topology import Topology
+
+
+class _Sink(NodeProgram):
+    def __init__(self, received: List[Any]) -> None:
+        super().__init__()
+        self._received = received
+
+    def on_receive(self, payload: Any, port: int) -> None:
+        self._received.append((self.now, payload))
+
+
+def _pair_network(seed: int = 3, fifo: bool = True, batch_sampling: bool = True):
+    received: List[Any] = []
+    config = NetworkConfig(
+        topology=Topology(n=2, edges=[(0, 1)], name="pair"),
+        delay_model=ExponentialDelay(mean=1.0),
+        seed=seed,
+        fifo=fifo,
+        batch_sampling=batch_sampling,
+        enable_trace=False,
+    )
+    network = Network(config, lambda uid: _Sink(received))
+    return network, network.channels[0], received
+
+
+class TestMidRunDelayModelSwap:
+    def test_no_stale_draws_after_swap_on_fifo_batch_channel(self):
+        network, channel, received = _pair_network()
+        # Burn a few draws so the prefetched block is partially consumed and
+        # provably has exponential draws left.
+        pre_swap = [channel.transmit(f"pre-{i}").delay for i in range(4)]
+        assert any(delay != 2.5 for delay in pre_swap)
+
+        def swap() -> None:
+            channel.set_delay_model(ConstantDelay(2.5))
+
+        network.simulator.schedule(1.0, swap)
+
+        post_swap_delays: List[float] = []
+
+        def send_after_swap() -> None:
+            for i in range(8):
+                post_swap_delays.append(channel.transmit(f"post-{i}").delay)
+
+        network.simulator.schedule(2.0, send_after_swap)
+        network.run()
+        # Every single delay served after the swap is the new constant: no
+        # leftover exponential draw from the old block escapes.
+        assert post_swap_delays == [2.5] * 8
+        assert len(received) == 12
+
+    def test_batch_configured_channel_keeps_a_fresh_sampler(self):
+        _, channel, _ = _pair_network()
+        original = channel.delay_sampler
+        assert original is not None
+        channel.set_delay_model(ConstantDelay(2.5))
+        rebuilt = channel.delay_sampler
+        assert rebuilt is not None
+        assert rebuilt is not original
+        assert rebuilt.distribution is channel.delay_model
+        assert rebuilt.block_size == original.block_size
+
+    def test_swap_to_same_distribution_object_keeps_prefetched_draws(self):
+        """Re-assigning the *same* distribution is a no-op: its prefetched
+        draws are still valid, so the sampler (and its block) survive."""
+        _, channel, _ = _pair_network()
+        sampler = channel.delay_sampler
+        channel.transmit("warm-up")  # force a refill
+        block_state = (sampler._index, sampler._size)
+        channel.set_delay_model(channel.delay_model)
+        assert channel.delay_sampler is sampler
+        assert (sampler._index, sampler._size) == block_state
+
+    def test_fifo_clamp_survives_the_swap(self):
+        """Messages sent after a swap to a much faster model must still not
+        overtake slower pre-swap messages on a FIFO channel."""
+        network, channel, received = _pair_network(seed=11)
+
+        def swap_and_burst() -> None:
+            channel.set_delay_model(ConstantDelay(0.001))
+            for i in range(5):
+                channel.transmit(f"fast-{i}")
+
+        for i in range(5):
+            channel.transmit(f"slow-{i}")
+        network.simulator.schedule(0.5, swap_and_burst)
+        network.run()
+        payloads = [payload for _, payload in received]
+        assert payloads == [f"slow-{i}" for i in range(5)] + [
+            f"fast-{i}" for i in range(5)
+        ]
+        times = [time for time, _ in received]
+        assert times == sorted(times)
+
+    def test_swap_procedure_is_deterministic_per_seed(self):
+        def run_once():
+            network, channel, received = _pair_network(seed=7)
+            for i in range(3):
+                channel.transmit(f"pre-{i}")
+            network.simulator.schedule(
+                1.0, lambda: channel.set_delay_model(ExponentialDelay(mean=0.25))
+            )
+            network.simulator.schedule(
+                2.0, lambda: [channel.transmit(f"post-{i}") for i in range(6)]
+            )
+            network.run()
+            return received
+
+        assert run_once() == run_once()
+
+    def test_scalar_channel_swap_has_no_sampler_to_go_stale(self):
+        network, channel, received = _pair_network(batch_sampling=False)
+        assert channel.delay_sampler is None
+        channel.set_delay_model(ConstantDelay(1.5))
+        assert channel.delay_sampler is None
+        envelope = channel.transmit("x")
+        assert envelope.delay == 1.5

@@ -1,0 +1,380 @@
+"""Differential and golden lock-down of the election-core refactor.
+
+Three layers of evidence that the fast election core (plain-counter
+bookkeeping, cached activation probability, allocation-free / batched tick
+scheduling, identity clock fast path) changed no observable behaviour:
+
+1. **Goldens** -- every scenario of the differential harness
+   (``tests/harness/differential.py``) is asserted bit-identical to the
+   fingerprint recorded on the pre-refactor code (commit 19a8dd0): all four
+   baseline leader elections, all three synchronizers, the ABE election in
+   scalar / batched / FIFO / traced / constant-schedule / no-purge / fault
+   configurations, and reduced E2/E3 experiment runs.
+2. **Live vs legacy differential** -- full election runs on the live core and
+   on the faithful pre-refactor replica
+   (``benchmarks/legacy_election_core.py``) produce identical fingerprints,
+   metric counters included.
+3. **Unit regressions** for the new machinery: ``Simulator.reschedule``,
+   ``SharedTickProcess``/``batch_ticks``, and summed external counters.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from harness.differential import (
+    SCENARIOS,
+    assert_equivalent,
+    assert_matches_golden,
+    fingerprint_network,
+)
+
+_BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(_BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(_BENCHMARKS))
+
+from legacy_election_core import (  # noqa: E402
+    legacy_build_election_network,
+    legacy_run_election,
+)
+
+from repro.core.runner import (  # noqa: E402
+    build_election_network,
+    run_election,
+    run_election_on_network,
+)
+from repro.sim.engine import SimulationError, Simulator  # noqa: E402
+from repro.sim.monitor import MetricsCollector  # noqa: E402
+from repro.sim.process import SharedTickProcess  # noqa: E402
+
+
+class TestGoldens:
+    """Every harness scenario must match its pre-refactor golden, bit for bit."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_matches_pre_refactor_golden(self, name):
+        assert_matches_golden(name)
+
+
+class TestLiveVsLegacyDifferential:
+    """The live core vs the faithful pre-refactor replica, full fingerprints."""
+
+    CONFIGS = [
+        ("scalar", dict(n=16, seed=7)),
+        ("fifo", dict(n=12, seed=5, fifo=True)),
+        ("batch_sampling", dict(n=10, seed=3, batch_sampling=True)),
+        ("no_purge", dict(n=8, seed=2, purge_at_active=False)),
+        ("low_a0", dict(n=10, seed=4, a0=0.1)),
+        ("traced", dict(n=6, seed=8, enable_trace=True)),
+    ]
+
+    @pytest.mark.parametrize("label,config", CONFIGS, ids=[c[0] for c in CONFIGS])
+    def test_live_and_legacy_fingerprints_identical(self, label, config):
+        config = dict(config)
+        n = config.pop("n")
+        seed = config.pop("seed")
+        include_trace = config.get("enable_trace", False)
+
+        live_network, live_status = build_election_network(n, seed=seed, **config)
+        live_result = run_election_on_network(
+            live_network, live_status, a0=config.get("a0", 0.3)
+        )
+        live = fingerprint_network(live_network, include_trace=include_trace)
+        live["result"] = asdict(live_result)
+
+        config.pop("validate_model", None)
+        legacy_network, legacy_status = legacy_build_election_network(
+            n, seed=seed, **config
+        )
+        legacy_network.stop_when(lambda: legacy_status.decided)
+        legacy_network.run(max_events=500_000 + 50_000 * n)
+        legacy = fingerprint_network(legacy_network, include_trace=include_trace)
+        legacy["result"] = asdict(
+            _legacy_result(legacy_network, legacy_status, seed, config.get("a0", 0.3))
+        )
+
+        assert_equivalent(legacy, live, context=f"live vs legacy ({label})")
+
+    def test_run_election_equals_legacy_run_election_across_seeds(self):
+        for seed in range(10):
+            assert run_election(12, a0=0.3, seed=seed) == legacy_run_election(
+                12, a0=0.3, seed=seed
+            )
+
+
+def _legacy_result(network, status, seed, a0):
+    from repro.core.runner import ElectionResult
+
+    return ElectionResult(
+        n=network.n,
+        elected=status.decided,
+        leader_uid=status.leader_uid,
+        election_time=status.election_time,
+        messages_total=network.messages_sent(),
+        knockout_messages=status.knockouts,
+        activations=status.activations,
+        ticks=status.ticks,
+        hop_overflows=status.hop_overflows,
+        events_processed=network.simulator.events_processed,
+        seed=seed,
+        a0=a0,
+        leaders_elected=status.leaders_elected,
+    )
+
+
+class TestReschedule:
+    """The engine's zero-allocation re-arm primitive."""
+
+    def test_reschedule_reuses_the_event_record(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(sim.now))
+        event = handle._event
+        sim.run()
+        sim.reschedule(handle, 2.0)
+        assert handle._event is event  # same record, re-armed
+        assert not handle.fired and not handle.cancelled
+        sim.run()
+        assert fired == [1.0, 3.0]
+
+    def test_reschedule_orders_like_a_fresh_schedule(self):
+        sim = Simulator()
+        fired = []
+        recurring = sim.schedule(1.0, lambda: fired.append("recurring"))
+        sim.run()
+        # Re-arm, then schedule a fresh event for the same instant: the
+        # re-armed entry consumed the earlier sequence number and fires first.
+        sim.reschedule(recurring, 1.0)
+        sim.schedule(1.0, lambda: fired.append("fresh"))
+        sim.run()
+        assert fired == ["recurring", "recurring", "fresh"]
+
+    def test_reschedule_requires_a_fired_event(self):
+        sim = Simulator()
+        pending = sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.reschedule(pending, 1.0)
+        cancelled = sim.schedule(1.0, lambda: None)
+        cancelled.cancel()
+        with pytest.raises(SimulationError):
+            sim.reschedule(cancelled, 1.0)
+
+    def test_reschedule_validates_delay_and_counts(self):
+        sim = Simulator()
+        handle = sim.schedule(0.0, lambda: None)
+        sim.run()
+        scheduled_before = sim.events_scheduled
+        with pytest.raises(SimulationError):
+            sim.reschedule(handle, -1.0)
+        with pytest.raises(SimulationError):
+            sim.reschedule(handle, float("nan"))
+        sim.reschedule(handle, 1.0)
+        assert sim.events_scheduled == scheduled_before + 1
+
+    def test_rescheduled_event_can_be_cancelled(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(0.0, lambda: fired.append(1))
+        sim.run()
+        sim.reschedule(handle, 1.0)
+        assert handle.cancel() is True
+        sim.run()
+        assert fired == [1]
+
+
+class TestSharedTickProcess:
+    def test_members_tick_in_join_order_every_round(self):
+        sim = Simulator()
+        driver = SharedTickProcess(sim, period=1.0)
+        order = []
+        driver.join(lambda count: order.append(("a", count)))
+        driver.join(lambda count: order.append(("b", count)))
+        sim.run(until=2.5)
+        assert order == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+        assert driver.rounds == 2
+
+    def test_false_return_and_stop_deregister(self):
+        sim = Simulator()
+        driver = SharedTickProcess(sim, period=1.0)
+        counts = {"a": 0, "b": 0}
+
+        def once(count):
+            counts["a"] += 1
+            return False
+
+        driver.join(once)
+        member_b = driver.join(lambda count: counts.__setitem__("b", counts["b"] + 1))
+        sim.run(until=3.5)
+        assert counts["a"] == 1
+        assert counts["b"] == 3
+        member_b.stop()
+        assert driver.live_members == 0
+        # The pending round event is cancelled: nothing else fires.
+        processed = sim.events_processed
+        sim.run()
+        assert sim.events_processed == processed
+
+    def test_one_event_per_round_regardless_of_member_count(self):
+        sim = Simulator()
+        driver = SharedTickProcess(sim, period=1.0)
+        for _ in range(50):
+            driver.join(lambda count: None)
+        sim.run(until=4.5)
+        assert driver.rounds == 4
+        assert sim.events_processed == 4  # one heap entry per round
+
+    def test_member_joining_between_rounds_rides_the_shared_grid(self):
+        """Documented grid semantics: a member joining while a round is
+        already armed first ticks at that round -- sooner than the full
+        period a fresh per-node TickProcess would wait."""
+        sim = Simulator()
+        driver = SharedTickProcess(sim, period=1.0)
+        driver.join(lambda count: None)  # arms rounds at t=1, 2, 3, ...
+        ticks = []
+        sim.schedule(1.5, lambda: driver.join(lambda count: ticks.append(sim.now)))
+        sim.run(until=3.5)
+        assert ticks == [2.0, 3.0]  # grid rounds, not 2.5/3.5
+
+    def test_member_joining_mid_round_first_ticks_next_round(self):
+        sim = Simulator()
+        driver = SharedTickProcess(sim, period=1.0)
+        order = []
+
+        def joiner(count):
+            order.append(("first", count))
+            if count == 0:
+                driver.join(lambda c: order.append(("late", c)))
+
+        driver.join(joiner)
+        sim.run(until=2.5)
+        assert order == [("first", 0), ("first", 1), ("late", 0)]
+
+    def test_rejoin_after_everyone_left_rearms(self):
+        sim = Simulator()
+        driver = SharedTickProcess(sim, period=1.0)
+        first = driver.join(lambda count: None)
+        sim.run(until=1.5)
+        first.stop()
+        sim.run()
+        ticks = []
+        driver.join(ticks.append)
+        sim.run(until=sim.now + 2.5)
+        assert len(ticks) == 2
+
+    def test_stopped_members_are_compacted(self):
+        sim = Simulator()
+        driver = SharedTickProcess(sim, period=1.0)
+        members = [driver.join(lambda count: None) for _ in range(10)]
+        for member in members[:9]:
+            member.stop()
+        sim.run(until=1.5)  # one round triggers compaction
+        assert driver.live_members == 1
+        assert len(driver._members) == 1
+
+    def test_membership_duck_types_tick_process(self):
+        sim = Simulator()
+        driver = SharedTickProcess(sim, period=1.0)
+        member = driver.join(lambda count: None)
+        assert member.ticks == 0 and member.stopped is False
+        sim.run(until=1.5)
+        assert member.ticks == 1
+        member.stop()
+        assert member.stopped is True
+
+
+class TestBatchTicksMode:
+    """The opt-in shared-round driver: identical elections, fewer events."""
+
+    def test_outcomes_identical_to_per_node_ticks(self):
+        for n in (8, 16):
+            for seed in range(8):
+                per_node = asdict(run_election(n, a0=0.3, seed=seed))
+                batched = asdict(run_election(n, a0=0.3, seed=seed, batch_ticks=True))
+                per_node_events = per_node.pop("events_processed")
+                batched_events = batched.pop("events_processed")
+                assert per_node == batched, f"n={n} seed={seed}"
+                # The whole point: one event per activation round, not per node.
+                assert batched_events < per_node_events
+
+    def test_batch_ticks_composes_with_batch_sampling_and_fifo(self):
+        kwargs = dict(a0=0.3, seed=5, batch_sampling=True, fifo=True)
+        plain = asdict(run_election(12, **kwargs))
+        batched = asdict(run_election(12, batch_ticks=True, **kwargs))
+        plain.pop("events_processed")
+        batched.pop("events_processed")
+        assert plain == batched
+
+    def test_batch_ticks_is_deterministic(self):
+        first = run_election(10, a0=0.3, seed=9, batch_ticks=True)
+        second = run_election(10, a0=0.3, seed=9, batch_ticks=True)
+        assert first == second
+
+    def test_batch_ticks_rejects_drifting_clocks(self):
+        with pytest.raises(ValueError, match="drift-free"):
+            run_election(8, a0=0.3, seed=0, clock_bounds=(0.9, 1.1), batch_ticks=True)
+
+        from repro.sim.clock import ConstantRateDrift
+
+        with pytest.raises(ValueError, match="drift-free"):
+            run_election(
+                8,
+                a0=0.3,
+                seed=0,
+                clock_drift_factory=lambda uid: ConstantRateDrift(1.0),
+                batch_ticks=True,
+            )
+
+
+class TestSummedExternalCounters:
+    def test_same_source_binds_once(self):
+        metrics = MetricsCollector()
+        box = {"value": 0}
+        source = object()
+        for _ in range(5):  # every node program of a run binds the shared status
+            metrics.bind_external_sum("hits", source, lambda: box["value"])
+        box["value"] = 3
+        assert metrics.count("hits") == 3.0
+
+    def test_distinct_sources_sum(self):
+        metrics = MetricsCollector()
+        a, b = {"value": 2}, {"value": 5}
+        metrics.bind_external_sum("hits", a, lambda: a["value"])
+        metrics.bind_external_sum("hits", b, lambda: b["value"])
+        assert metrics.count("hits") == 7.0
+        assert metrics.counters()["hits"] == 7.0
+
+    def test_zero_valued_sum_is_hidden_like_an_untouched_counter(self):
+        metrics = MetricsCollector()
+        box = {"value": 0}
+        metrics.bind_external_sum("hits", box, lambda: box["value"])
+        assert "hits" not in metrics.counters()
+        assert "hits" not in metrics.summary()
+        assert metrics.count("hits") == 0.0
+        box["value"] = 1
+        assert metrics.counters()["hits"] == 1.0
+
+    def test_summed_names_are_read_only_through_the_collector(self):
+        metrics = MetricsCollector()
+        metrics.bind_external_sum("hits", self, lambda: 1)
+        with pytest.raises(ValueError):
+            metrics.increment("hits")
+
+    def test_binding_styles_cannot_mix(self):
+        metrics = MetricsCollector()
+        metrics.bind_external("plain", lambda: 1)
+        with pytest.raises(ValueError):
+            metrics.bind_external_sum("plain", self, lambda: 1)
+        other = MetricsCollector()
+        other.bind_external_sum("summed", self, lambda: 1)
+        with pytest.raises(ValueError):
+            other.bind_external("summed", lambda: 1)
+
+    def test_collector_owned_names_cannot_be_rebound(self):
+        metrics = MetricsCollector()
+        metrics.increment("hits")
+        with pytest.raises(ValueError):
+            metrics.bind_external_sum("hits", self, lambda: 1)

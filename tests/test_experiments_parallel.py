@@ -131,13 +131,30 @@ class TestElectionDeterminism:
             dict(row) for row in fanned.table()
         ]
 
+    def test_election_counters_bit_identical_serial_vs_workers(self):
+        """The plain-integer election counters (ticks, activations, knockouts,
+        hop overflows) survive the fork boundary bit-identically: a worker
+        process increments its own status object and ships the counts back
+        inside the result record."""
+        serial = election_trials(10, trials=6, base_seed=17)
+        fanned = election_trials(10, trials=6, base_seed=17, workers=4)
+        for s, f in zip(serial, fanned):
+            assert (s.ticks, s.activations, s.knockout_messages, s.hop_overflows) == (
+                f.ticks,
+                f.activations,
+                f.knockout_messages,
+                f.hop_overflows,
+            )
+        assert all(r.ticks > 0 and r.activations > 0 for r in fanned)
+
     def test_results_identical_across_processes(self):
         """Same seed => same results in a fresh interpreter (twice over)."""
         snippet = (
             "import json, sys\n"
             "from repro.experiments.workloads import election_trials\n"
             "results = election_trials(8, trials=3, base_seed=21, workers=2)\n"
-            "payload = [[r.messages_total, r.election_time, r.leader_uid, r.seed]"
+            "payload = [[r.messages_total, r.election_time, r.leader_uid, r.seed,"
+            " r.ticks, r.activations, r.knockout_messages]"
             " for r in results]\n"
             "print(json.dumps(payload))\n"
         )
@@ -160,7 +177,15 @@ class TestElectionDeterminism:
         assert outputs[0] == outputs[1]
         in_process = election_trials(8, trials=3, base_seed=21)
         expected = [
-            [r.messages_total, r.election_time, r.leader_uid, r.seed]
+            [
+                r.messages_total,
+                r.election_time,
+                r.leader_uid,
+                r.seed,
+                r.ticks,
+                r.activations,
+                r.knockout_messages,
+            ]
             for r in in_process
         ]
         assert outputs[0] == expected

@@ -131,13 +131,20 @@ class TestNetworkBatchSampling:
 
     def test_reassigning_delay_model_drops_stale_sampler(self):
         """A sampler prefetched for the old distribution must not survive a
-        delay-model swap (the new model would be silently ignored)."""
+        delay-model swap (the new model would be silently ignored).  The
+        batch-configured channel gets a *fresh* sampler for the new model
+        instead of silently degrading to per-message sampling."""
         network = self._echo_network(batch_sampling=True)
         channel = network.channels[0]
-        assert channel.delay_sampler is not None  # construction keeps it
+        stale = channel.delay_sampler
+        assert stale is not None  # construction keeps it
         channel.delay_model = ConstantDelay(2.0)
-        assert channel.delay_sampler is None
-        assert channel.delay_model.sample(__import__("random").Random(0)) == 2.0
+        rebuilt = channel.delay_sampler
+        assert rebuilt is not None and rebuilt is not stale
+        assert rebuilt.distribution is channel.delay_model
+        assert rebuilt.block_size == stale.block_size
+        # Every draw served after the swap comes from the new distribution.
+        assert all(rebuilt.next() == 2.0 for _ in range(5))
 
     def test_batched_election_is_deterministic_per_seed(self):
         from repro.core.runner import run_election
