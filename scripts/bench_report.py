@@ -33,6 +33,11 @@ run:
 ``trials``
     Monte-Carlo election trials/sec serially and fanned across worker
     processes via :class:`repro.experiments.parallel.ParallelTrialRunner`.
+``experiments_e2e``
+    Wall clock of a reduced E1+E3 experiment-suite run: the pre-PR-4
+    defaults (per-message sampling, per-node ticks, fixed trial counts) vs
+    the shipped fast defaults plus adaptive Monte-Carlo stopping
+    (``benchmarks/bench_experiments_e2e.py``, gated >= 2x there).
 ``sweep_pool``
     Wall clock of a multi-size election sweep forking a fresh pool per ring
     size vs reusing one :class:`repro.experiments.parallel.SweepPool`, with
@@ -76,6 +81,7 @@ from bench_election_core import (  # noqa: E402
     live_ticks_per_second,
 )
 from bench_engine_microbench import events_per_second  # noqa: E402
+from bench_experiments_e2e import measure as measure_experiments_e2e  # noqa: E402
 from bench_message_path import (  # noqa: E402
     legacy_messages_per_second,
     optimized_messages_per_second,
@@ -331,6 +337,14 @@ def main() -> int:
         f"({sampling['batched_speedup']}x); elections "
         f"{sampling['election_events_speedup']}x events/sec"
     )
+    print("benchmarking experiments end-to-end ...", flush=True)
+    experiments_e2e = measure_experiments_e2e(quick=args.quick, repeats=repeats)
+    print(
+        f"  legacy {experiments_e2e['legacy_seconds']}s, fast "
+        f"{experiments_e2e['fast_seconds']}s ({experiments_e2e['speedup']}x; "
+        f"trials {experiments_e2e['legacy_trials_total']} -> "
+        f"{experiments_e2e['fast_trials_total']})"
+    )
     print(f"benchmarking trial fan-out (workers={workers}) ...", flush=True)
     trials = bench_trials(trial_n, trial_count, workers)
     print(
@@ -355,6 +369,7 @@ def main() -> int:
         "message_path": message_path,
         "election_core": election_core,
         "sampling": sampling,
+        "experiments_e2e": experiments_e2e,
         "trials": trials,
         "sweep_pool": sweep_pool,
     }

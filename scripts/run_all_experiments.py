@@ -25,6 +25,10 @@ from repro.experiments.parallel import (
     worker_count_argument,
 )
 from repro.experiments.reporting import render_experiment
+from repro.experiments.runner import (
+    add_adaptive_stopping_arguments,
+    adaptive_stopping_from_args,
+)
 
 
 def main() -> int:
@@ -44,8 +48,10 @@ def main() -> int:
             "0 = one per CPU; results are identical for any value)"
         ),
     )
+    add_adaptive_stopping_arguments(parser)
     args = parser.parse_args()
     workers = resolve_worker_count(args.workers)
+    adaptive = adaptive_stopping_from_args(args)
 
     sections = []
     total_started = time.time()
@@ -60,6 +66,15 @@ def main() -> int:
                 kwargs["pool"] = pool
             elif "workers" in parameters:
                 kwargs["workers"] = workers
+            if adaptive is not None:
+                if "adaptive" in parameters:
+                    kwargs["adaptive"] = adaptive
+                else:
+                    print(
+                        f"  note: {experiment_id} does not run Monte-Carlo "
+                        "trials; adaptive stopping flags are ignored",
+                        flush=True,
+                    )
             started = time.time()
             print(f"running {experiment_id} ({module.TITLE}) ...", flush=True)
             result = module.run(**kwargs)

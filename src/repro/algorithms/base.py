@@ -120,7 +120,7 @@ def build_ring_election(
     fifo: bool = False,
     with_identifiers: bool = True,
     size_known: bool = True,
-    batch_sampling: bool = False,
+    batch_sampling: bool = True,
     topology: Optional[Topology] = None,
 ) -> tuple:
     """Construct the network and shared tally for one baseline election run.
@@ -189,7 +189,7 @@ def run_ring_election(
     fifo: bool = False,
     with_identifiers: bool = True,
     size_known: bool = True,
-    batch_sampling: bool = False,
+    batch_sampling: bool = True,
     max_events: Optional[int] = None,
     max_time: Optional[float] = None,
     topology: Optional[Topology] = None,

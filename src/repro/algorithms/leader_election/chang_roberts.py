@@ -74,7 +74,7 @@ def run_chang_roberts(
     *,
     delay: Optional[Union[DelayDistribution, AdversarialDelay]] = None,
     seed: int = 0,
-    batch_sampling: bool = False,
+    batch_sampling: bool = True,
     max_events: Optional[int] = None,
 ) -> RingElectionResult:
     """Run Chang-Roberts on a unidirectional ring of size ``n``."""

@@ -97,7 +97,7 @@ def run_dolev_klawe_rodeh(
     *,
     delay: Optional[Union[DelayDistribution, AdversarialDelay]] = None,
     seed: int = 0,
-    batch_sampling: bool = False,
+    batch_sampling: bool = True,
     max_events: Optional[int] = None,
 ) -> RingElectionResult:
     """Run Dolev-Klawe-Rodeh on a unidirectional FIFO ring of size ``n``."""

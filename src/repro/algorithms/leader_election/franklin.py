@@ -127,7 +127,7 @@ def run_franklin(
     *,
     delay: Optional[Union[DelayDistribution, AdversarialDelay]] = None,
     seed: int = 0,
-    batch_sampling: bool = False,
+    batch_sampling: bool = True,
     max_events: Optional[int] = None,
 ) -> RingElectionResult:
     """Run Franklin's algorithm on a bidirectional FIFO ring of size ``n``."""

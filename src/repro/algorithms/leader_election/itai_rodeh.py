@@ -160,7 +160,7 @@ def run_itai_rodeh(
     delay: Optional[Union[DelayDistribution, AdversarialDelay]] = None,
     seed: int = 0,
     identity_space: Optional[int] = None,
-    batch_sampling: bool = False,
+    batch_sampling: bool = True,
     max_events: Optional[int] = None,
 ) -> RingElectionResult:
     """Run Itai-Rodeh on an anonymous unidirectional ring of size ``n``."""

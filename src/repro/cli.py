@@ -24,6 +24,10 @@ from repro.core.runner import run_election
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.parallel import resolve_worker_count, worker_count_argument
 from repro.experiments.reporting import render_experiment
+from repro.experiments.runner import (
+    add_adaptive_stopping_arguments,
+    adaptive_stopping_from_args,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -71,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
             "0 = one per CPU; results are identical for any value)"
         ),
     )
+    add_adaptive_stopping_arguments(experiment)
 
     subparsers.add_parser("list", help="list available experiments")
     return parser
@@ -107,6 +112,15 @@ def _command_experiment(args: argparse.Namespace) -> int:
         kwargs["base_seed"] = args.seed
     if args.workers is not None and "workers" in supported:
         kwargs["workers"] = resolve_worker_count(args.workers)
+    adaptive = adaptive_stopping_from_args(args)
+    if adaptive is not None:
+        if "adaptive" not in supported:
+            print(
+                f"note: experiment {args.experiment_id} does not run Monte-Carlo "
+                "trials; --ci-tol/--min-trials/--max-trials are ignored"
+            )
+        else:
+            kwargs["adaptive"] = adaptive
     result = module.run(**kwargs)
     print(render_experiment(result))
     return 0

@@ -62,7 +62,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.activation import ActivationSchedule, AdaptiveActivation
-from repro.core.messages import HopMessage
+from repro.core.messages import HopMessage, HopMessagePool
 from repro.network.node import Node, NodeProgram
 from repro.sim.process import SharedTickProcess
 
@@ -150,10 +150,17 @@ class AbeElectionProgram(NodeProgram):
         and observe the post-election quiescence.
     tick_driver:
         Optional :class:`~repro.sim.process.SharedTickProcess` batching this
-        node's ticks with its peers' (one heap entry per activation round).
-        The runner injects it under ``batch_ticks=True`` after validating the
-        drift-free clock requirement; when ``None`` the node runs its own
+        node's ticks with every peer tick landing at the same instant (one
+        heap entry per occupied instant; one per activation round when all
+        clocks are drift-free).  The runner injects it under
+        ``batch_ticks=True``; when ``None`` the node runs its own
         :class:`~repro.sim.process.TickProcess`.
+    hop_pool:
+        Optional shared :class:`~repro.core.messages.HopMessagePool`.  Sends
+        draw recycled message records from it; the ring channels release
+        consumed messages back (refcount-guarded, see
+        :meth:`~repro.network.channel.Channel._deliver`).  ``None`` allocates
+        a fresh :class:`~repro.core.messages.HopMessage` per send.
     """
 
     def __init__(
@@ -164,6 +171,7 @@ class AbeElectionProgram(NodeProgram):
         purge_at_active: bool = True,
         stop_network_on_election: bool = True,
         tick_driver: Optional[SharedTickProcess] = None,
+        hop_pool: Optional[HopMessagePool] = None,
     ) -> None:
         super().__init__()
         if tick_period <= 0:
@@ -174,6 +182,10 @@ class AbeElectionProgram(NodeProgram):
         self.purge_at_active = purge_at_active
         self.stop_network_on_election = stop_network_on_election
         self.tick_driver = tick_driver
+        # Shared per-run HopMessage free list (see repro.core.messages); when
+        # absent every send allocates, as before the pool existed.
+        self.hop_pool = hop_pool
+        self._acquire_message = None if hop_pool is None else hop_pool.acquire
         self.state = NodeState.IDLE
         self.d = 1
         self.messages_received = 0
@@ -213,8 +225,14 @@ class AbeElectionProgram(NodeProgram):
         self.trace("state", state=str(self.state), d=self.d)
         if self.tick_driver is not None:
             # Join order across nodes is on_start order (uid order), which is
-            # exactly the per-round firing order of the per-node layout.
-            self._tick_process = self.tick_driver.join(self._on_tick)
+            # exactly the per-node firing order at shared instants.  The
+            # node's own clock travels with the membership, so drifting
+            # clocks keep their private tick times.
+            self._tick_process = self.tick_driver.join(
+                self._on_tick,
+                clock=self._require_node().clock,
+                period=self.tick_period,
+            )
         else:
             self.start_ticks(self._on_tick, local_period=self.tick_period)
 
@@ -241,7 +259,9 @@ class AbeElectionProgram(NodeProgram):
         self.times_activated += 1
         self.status.activations += 1
         self.trace("state", state=str(self.state), d=self.d)
-        self.send(RING_PORT, HopMessage(hop=1))
+        acquire = self._acquire_message
+        message = HopMessage(hop=1) if acquire is None else acquire(1)
+        self.send(RING_PORT, message)
 
     # ---------------------------------------------------------------- receive
 
@@ -277,7 +297,13 @@ class AbeElectionProgram(NodeProgram):
             # verification layer can flag it instead of silently mutating
             # behaviour.
             self.status.hop_overflows += 1
-        forwarded = payload.forwarded(new_hop, knocked_out_idle)
+        acquire = self._acquire_message
+        if acquire is None:
+            forwarded = payload.forwarded(new_hop, knocked_out_idle)
+        else:
+            forwarded = acquire(
+                new_hop, payload.token_id, payload.knockout or knocked_out_idle
+            )
         self.messages_forwarded += 1
         if knocked_out_idle:
             self.status.knockouts += 1

@@ -19,6 +19,7 @@ from typing import Callable, Optional, Union
 
 from repro.core.activation import ActivationSchedule, AdaptiveActivation
 from repro.core.election import AbeElectionProgram, ElectionStatus, NodeState
+from repro.core.messages import HopMessagePool
 from repro.models.abe import ABEModel
 from repro.network.adversary import AdversarialDelay
 from repro.network.delays import DelayDistribution, ExponentialDelay
@@ -121,8 +122,8 @@ def build_election_network(
     enable_trace: bool = False,
     validate_model: bool = True,
     expected_delay_bound: Optional[float] = None,
-    batch_sampling: bool = False,
-    batch_ticks: bool = False,
+    batch_sampling: bool = True,
+    batch_ticks: bool = True,
 ) -> tuple:
     """Construct the ring network and shared status for one election run.
 
@@ -130,16 +131,19 @@ def build_election_network(
     :func:`run_election` so tests and examples can inspect or instrument the
     network before running it.
 
-    ``batch_ticks`` drives every node's clock ticks from a single
-    :class:`~repro.sim.process.SharedTickProcess` heap entry per activation
-    round instead of one event per node and tick.  It requires drift-free
-    unit-rate clocks (all ticks then land at the same instants, in uid order
-    -- exactly the per-node firing order).  Election outcomes, message
-    counts, times and metric counters are preserved for continuous delay
-    models (a delivery then never ties a tick instant, which is the only way
-    the coarser event granularity could reorder work); the engine-level
-    ``events_processed`` necessarily differs, so compare that figure within
-    one mode, as with ``batch_sampling``.
+    ``batch_ticks`` drives every node's clock ticks from one
+    :class:`~repro.sim.process.SharedTickProcess`, which buckets all ticks
+    landing at the same instant behind a single heap entry.  Tick *times*
+    are computed per node from its own (possibly drifting) clock, exactly
+    like the per-node layout, so the mode composes with ``clock_bounds`` and
+    ``clock_drift_factory``: drift-free unit-rate clocks share every instant
+    (one event per activation round), drifting clocks mostly occupy distinct
+    instants (never worse than per-node ticking).  Election outcomes,
+    message counts, times and metric counters are preserved for continuous
+    delay models (a delivery then never ties a tick instant, which is the
+    only way the coarser event granularity could reorder work); the
+    engine-level ``events_processed`` necessarily differs, so compare that
+    figure within one mode, as with ``batch_sampling``.
     """
     if n < 2:
         raise ValueError(f"the election algorithm needs a ring of size n >= 2, got {n}")
@@ -174,23 +178,25 @@ def build_election_network(
         )
         model.validate_config(config)
 
+    hop_pool = HopMessagePool()
+
     def program_factory(uid: int) -> AbeElectionProgram:
         return AbeElectionProgram(
             status=status,
             schedule=schedule,
             tick_period=tick_period,
             purge_at_active=purge_at_active,
+            hop_pool=hop_pool,
         )
 
     network = Network(config, program_factory)
+    # Ring channels carry only HopMessages: let deliveries hand consumed,
+    # provably-unobservable messages back to the shared pool (the channel's
+    # exact refcount guard vetoes the recycle whenever a tracer, test or
+    # wrapper still holds the message or its envelope).
+    for channel in network.channels:
+        channel.payload_recycler = hop_pool.release
     if batch_ticks:
-        if clock_bounds != (1.0, 1.0) or clock_drift_factory is not None:
-            raise ValueError(
-                "batch_ticks requires drift-free unit-rate clocks "
-                "(clock_bounds=(1.0, 1.0) and no clock_drift_factory): with "
-                "drifting clocks the nodes' ticks do not share instants and "
-                "cannot ride one shared round event"
-            )
         driver = SharedTickProcess(network.simulator, period=tick_period)
         for node in network.nodes:
             node.program.tick_driver = driver
@@ -243,8 +249,8 @@ def run_election(
     enable_trace: bool = False,
     validate_model: bool = True,
     expected_delay_bound: Optional[float] = None,
-    batch_sampling: bool = False,
-    batch_ticks: bool = False,
+    batch_sampling: bool = True,
+    batch_ticks: bool = True,
     max_events: Optional[int] = None,
     max_time: Optional[float] = None,
 ) -> ElectionResult:

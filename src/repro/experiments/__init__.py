@@ -27,7 +27,12 @@ laptop-friendly.
 """
 
 from repro.experiments.results import ExperimentResult, ResultTable
-from repro.experiments.runner import monte_carlo, trial_seeds
+from repro.experiments.runner import (
+    AdaptiveStopping,
+    adaptive_monte_carlo,
+    monte_carlo,
+    trial_seeds,
+)
 from repro.experiments.parallel import ParallelTrialRunner, SweepPool, parallel_map
 from repro.experiments.reporting import format_table, render_experiment
 from repro.experiments import (
@@ -57,6 +62,8 @@ ALL_EXPERIMENTS = {
 }
 
 __all__ = [
+    "AdaptiveStopping",
+    "adaptive_monte_carlo",
     "ExperimentResult",
     "ResultTable",
     "monte_carlo",

@@ -12,11 +12,12 @@ complexity.  This ablation quantifies the gap.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.activation import AdaptiveActivation, ConstantActivation
 from repro.core.analysis import recommended_a0
 from repro.experiments.results import ExperimentResult, ResultTable
+from repro.experiments.runner import AdaptiveStopping
 from repro.experiments.workloads import election_trials
 from repro.stats.confidence import confidence_interval
 
@@ -38,8 +39,11 @@ def run(
     trials: int = 25,
     base_seed: int = 101,
     workers: int = 1,
+    adaptive: Optional[AdaptiveStopping] = None,
 ) -> ExperimentResult:
     """Run the schedule ablation and return the A1 result."""
+    if adaptive is not None:
+        adaptive = adaptive.resolved("election_time")
     table = ResultTable(
         title="A1: adaptive vs constant activation schedule (same A0 per size)",
         columns=[
@@ -69,6 +73,7 @@ def run(
                 schedule=schedule,
                 label=f"{label}-n{n}",
                 workers=workers,
+                adaptive=adaptive,
             )
             elected = [r for r in results if r.elected]
             messages = confidence_interval([float(r.messages_total) for r in elected])

@@ -16,12 +16,12 @@ declared.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.analysis import recommended_a0
 from repro.core.runner import run_election
 from repro.experiments.results import ExperimentResult, ResultTable
-from repro.experiments.runner import monte_carlo
+from repro.experiments.runner import AdaptiveStopping, monte_carlo
 from repro.stats.estimators import mean
 
 EXPERIMENT_ID = "a2"
@@ -44,8 +44,11 @@ def run(
     trials: int = 12,
     base_seed: int = 202,
     workers: int = 1,
+    adaptive: Optional[AdaptiveStopping] = None,
 ) -> ExperimentResult:
     """Run the purge ablation and return the A2 result."""
+    if adaptive is not None:
+        adaptive = adaptive.resolved("messages_total")
     table = ResultTable(
         title="A2: with vs without purging at active nodes",
         columns=[
@@ -76,6 +79,7 @@ def run(
                 base_seed=base_seed,
                 label=f"{variant}-n{n}",
                 workers=workers,
+                adaptive=adaptive,
             )
             terminated = [o for o in outcomes if o.elected]
             message_counts = [float(o.messages_total) for o in outcomes]

@@ -14,11 +14,12 @@ order among {n, n log n, n^2}.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.analysis import async_ring_message_lower_bound, recommended_a0
 from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
+from repro.experiments.runner import AdaptiveStopping, adaptive_parameters
 from repro.experiments.workloads import DEFAULT_RING_SIZES, DEFAULT_TRIALS, election_trials
 from repro.stats.complexity_fit import best_growth_order
 from repro.stats.confidence import confidence_interval
@@ -39,13 +40,22 @@ def run(
     base_seed: int = 11,
     workers: int = 1,
     pool: SweepPool = None,
+    adaptive: Optional[AdaptiveStopping] = None,
+    election_overrides: Optional[Dict] = None,
 ) -> ExperimentResult:
     """Run the message-complexity sweep and return the E1 result.
 
     ``workers`` fans each size's trials across one shared
     :class:`~repro.experiments.parallel.SweepPool` (created here unless an
     external ``pool`` is passed in); results are bit-identical to serial.
+    ``adaptive`` stops each size's trials once the message-count CI is tight
+    enough (``trials`` becomes the budget); ``election_overrides`` forwards
+    extra :func:`~repro.core.runner.run_election` keywords (e.g.
+    ``batch_sampling=False`` to reproduce the pre-fast-default streams).
     """
+    if adaptive is not None:
+        adaptive = adaptive.resolved("messages_total")
+    overrides = election_overrides or {}
     table = ResultTable(
         title="E1: messages to elect a leader (mean over trials)",
         columns=[
@@ -61,7 +71,12 @@ def run(
     sizes = list(sizes)
     means = []
     with SweepPool.ensure(pool, workers) as shared:
-        per_size = [election_trials(n, trials, base_seed, pool=shared) for n in sizes]
+        per_size = [
+            election_trials(
+                n, trials, base_seed, pool=shared, adaptive=adaptive, **overrides
+            )
+            for n in sizes
+        ]
     for n, results in zip(sizes, per_size):
         elected = [r for r in results if r.elected]
         message_counts = [float(r.messages_total) for r in elected]
@@ -91,11 +106,16 @@ def run(
         "per_node_spread": max(per_node) / min(per_node) if min(per_node) > 0 else float("inf"),
         "all_runs_elected": all(table.column("all_elected")),
     }
+    parameters = adaptive_parameters(
+        {"sizes": tuple(sizes), "trials": trials, "base_seed": base_seed},
+        adaptive,
+        per_size,
+    )
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
         tables=[table],
         findings=findings,
-        parameters={"sizes": tuple(sizes), "trials": trials, "base_seed": base_seed},
+        parameters=parameters,
     )

@@ -11,11 +11,12 @@ which the leader decides.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.analysis import recommended_a0
 from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
+from repro.experiments.runner import AdaptiveStopping, adaptive_parameters
 from repro.experiments.workloads import DEFAULT_RING_SIZES, DEFAULT_TRIALS, election_trials
 from repro.stats.complexity_fit import best_growth_order
 from repro.stats.confidence import confidence_interval
@@ -36,12 +37,17 @@ def run(
     base_seed: int = 22,
     workers: int = 1,
     pool: SweepPool = None,
+    adaptive: Optional[AdaptiveStopping] = None,
 ) -> ExperimentResult:
     """Run the time-complexity sweep and return the E2 result.
 
     One shared :class:`~repro.experiments.parallel.SweepPool` serves every
     ring size (see E1); results are bit-identical for any worker count.
+    ``adaptive`` targets the election *time* (this experiment's metric)
+    unless it pins another one explicitly.
     """
+    if adaptive is not None:
+        adaptive = adaptive.resolved("election_time")
     table = ResultTable(
         title="E2: simulated time to elect a leader (mean over trials)",
         columns=[
@@ -57,7 +63,10 @@ def run(
     sizes = list(sizes)
     means = []
     with SweepPool.ensure(pool, workers) as shared:
-        per_size = [election_trials(n, trials, base_seed, pool=shared) for n in sizes]
+        per_size = [
+            election_trials(n, trials, base_seed, pool=shared, adaptive=adaptive)
+            for n in sizes
+        ]
     for n, results in zip(sizes, per_size):
         elected = [r for r in results if r.elected]
         times = [float(r.election_time) for r in elected if r.election_time is not None]
@@ -94,5 +103,9 @@ def run(
         claim=CLAIM,
         tables=[table],
         findings=findings,
-        parameters={"sizes": tuple(sizes), "trials": trials, "base_seed": base_seed},
+        parameters=adaptive_parameters(
+            {"sizes": tuple(sizes), "trials": trials, "base_seed": base_seed},
+            adaptive,
+            per_size,
+        ),
     )

@@ -12,11 +12,12 @@ recommended value sits near the knee.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.analysis import recommended_a0, ring_pressure_per_tick
 from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
+from repro.experiments.runner import AdaptiveStopping, adaptive_parameters
 from repro.experiments.workloads import election_trials
 from repro.stats.confidence import confidence_interval
 
@@ -40,12 +41,20 @@ def run(
     base_seed: int = 33,
     workers: int = 1,
     pool: SweepPool = None,
+    adaptive: Optional[AdaptiveStopping] = None,
+    election_overrides: Optional[Dict] = None,
 ) -> ExperimentResult:
     """Sweep A0 at fixed ring size ``n`` and return the E3 result.
 
     One shared :class:`~repro.experiments.parallel.SweepPool` serves every
     multiplier point; results are bit-identical for any worker count.
+    ``adaptive`` stops each multiplier's trials once the message-count CI is
+    tight enough; ``election_overrides`` forwards extra
+    :func:`~repro.core.runner.run_election` keywords.
     """
+    if adaptive is not None:
+        adaptive = adaptive.resolved("messages_total")
+    overrides = election_overrides or {}
     reference_a0 = recommended_a0(n)
     table = ResultTable(
         title=f"E3: A0 sweep on a ring of n={n} nodes",
@@ -72,6 +81,8 @@ def run(
                 a0=a0,
                 label=f"a0x{multiplier}",
                 pool=shared,
+                adaptive=adaptive,
+                **overrides,
             )
             for multiplier, a0 in zip(multipliers, a0_values)
         ]
@@ -119,10 +130,14 @@ def run(
         claim=CLAIM,
         tables=[table],
         findings=findings,
-        parameters={
-            "n": n,
-            "multipliers": tuple(multipliers),
-            "trials": trials,
-            "base_seed": base_seed,
-        },
+        parameters=adaptive_parameters(
+            {
+                "n": n,
+                "multipliers": tuple(multipliers),
+                "trials": trials,
+                "base_seed": base_seed,
+            },
+            adaptive,
+            per_point,
+        ),
     )

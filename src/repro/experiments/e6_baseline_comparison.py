@@ -17,7 +17,7 @@ the identifier-based baselines grow like ``n log n``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.algorithms.leader_election import (
     run_chang_roberts,
@@ -27,7 +27,7 @@ from repro.algorithms.leader_election import (
 )
 from repro.core.analysis import async_ring_message_lower_bound
 from repro.experiments.results import ExperimentResult, ResultTable
-from repro.experiments.runner import monte_carlo
+from repro.experiments.runner import AdaptiveStopping, monte_carlo
 from repro.experiments.workloads import election_trials
 from repro.network.delays import ExponentialDelay
 from repro.stats.complexity_fit import best_growth_order
@@ -60,8 +60,11 @@ def run(
     trials: int = 15,
     base_seed: int = 66,
     workers: int = 1,
+    adaptive: Optional[AdaptiveStopping] = None,
 ) -> ExperimentResult:
     """Run the baseline comparison and return the E6 result."""
+    if adaptive is not None:
+        adaptive = adaptive.resolved("messages_total")
     sizes = list(sizes)
     table = ResultTable(
         title="E6: mean messages to elect a leader, by algorithm and ring size",
@@ -72,7 +75,9 @@ def run(
     # The paper's algorithm.
     abe_means = []
     for n in sizes:
-        results = election_trials(n, trials, base_seed, label=f"abe-n{n}", workers=workers)
+        results = election_trials(
+            n, trials, base_seed, label=f"abe-n{n}", workers=workers, adaptive=adaptive
+        )
         elected = [float(r.messages_total) for r in results if r.elected]
         interval = confidence_interval(elected)
         abe_means.append(interval.estimate)
@@ -96,6 +101,7 @@ def run(
                 base_seed=base_seed,
                 label=f"{name}-n{n}",
                 workers=workers,
+                adaptive=adaptive,
             )
             message_counts = [float(o.messages_total) for o in outcomes if o.elected]
             interval = confidence_interval(message_counts)

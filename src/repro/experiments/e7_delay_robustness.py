@@ -19,6 +19,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.core.analysis import recommended_a0
 from repro.experiments.results import ExperimentResult, ResultTable
+from repro.experiments.runner import AdaptiveStopping
 from repro.experiments.workloads import delay_families_with_mean, election_trials
 from repro.models.base import classify_delay
 from repro.stats.confidence import confidence_interval
@@ -40,8 +41,11 @@ def run(
     base_seed: int = 77,
     families: Optional[Sequence[str]] = None,
     workers: int = 1,
+    adaptive: Optional[AdaptiveStopping] = None,
 ) -> ExperimentResult:
     """Run the delay-robustness comparison and return the E7 result."""
+    if adaptive is not None:
+        adaptive = adaptive.resolved("messages_total")
     catalogue = delay_families_with_mean(mean_delay)
     if families is not None:
         unknown = set(families) - set(catalogue)
@@ -74,6 +78,7 @@ def run(
             delay=delay,
             label=f"family-{name}",
             workers=workers,
+            adaptive=adaptive,
             expected_delay_bound=max(delay.mean(), mean_delay),
         )
         elected = [r for r in results if r.elected]

@@ -14,10 +14,11 @@ agreement, only on each node ticking at a bounded rate.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core.analysis import recommended_a0
 from repro.experiments.results import ExperimentResult, ResultTable
+from repro.experiments.runner import AdaptiveStopping
 from repro.experiments.workloads import election_trials
 from repro.sim.clock import RandomWalkDrift
 from repro.stats.confidence import confidence_interval
@@ -40,14 +41,41 @@ DEFAULT_BOUNDS: Sequence[Tuple[float, float]] = (
 )
 
 
+def _batch_ticks_active(bounds: Tuple[float, float]) -> bool:
+    """Whether this experiment's election networks really batch their ticks.
+
+    The drift-tolerant :class:`~repro.sim.process.SharedTickProcess` must
+    drive every node even at the loosest clock bounds -- the old driver
+    rejected drifting clocks, silently forcing this experiment back onto
+    per-node ticking.  Asserted as a finding so a regression shows up in the
+    experiment report, not just in unit tests.  The probe ring is tiny: the
+    driver wiring is size-independent, only the clock configuration matters.
+    """
+    from repro.core.runner import build_election_network
+
+    s_low, s_high = bounds
+    network, _ = build_election_network(
+        4,
+        seed=0,
+        clock_bounds=bounds,
+        clock_drift_factory=lambda uid: RandomWalkDrift(
+            initial_rate=(s_low + s_high) / 2.0, step=(s_high - s_low) / 10.0
+        ),
+    )
+    return all(node.program.tick_driver is not None for node in network.nodes)
+
+
 def run(
     n: int = 32,
     clock_bounds: Sequence[Tuple[float, float]] = DEFAULT_BOUNDS,
     trials: int = 20,
     base_seed: int = 88,
     workers: int = 1,
+    adaptive: Optional[AdaptiveStopping] = None,
 ) -> ExperimentResult:
     """Run the clock-drift sweep and return the E8 result."""
+    if adaptive is not None:
+        adaptive = adaptive.resolved("messages_total")
     table = ResultTable(
         title=f"E8: election cost on a ring of n={n} under clock drift",
         columns=[
@@ -81,6 +109,7 @@ def run(
             a0=a0,
             label=f"drift-{s_low}-{s_high}",
             workers=workers,
+            adaptive=adaptive,
             clock_bounds=(s_low, s_high),
             clock_drift_factory=drift_factory,
         )
@@ -108,6 +137,7 @@ def run(
             unique_leader_always=all(r.leaders_elected == 1 for r in elected),
         )
     findings = {
+        "batch_ticks_active": _batch_ticks_active(clock_bounds[-1]),
         "always_elected": all(table.column("all_elected")),
         "always_unique_leader": all(table.column("unique_leader_always")),
         "worst_message_factor_vs_driftfree": worst_message_factor,

@@ -84,6 +84,31 @@ def worker_count_argument(text: str) -> int:
     return value
 
 
+def _adaptive_via(
+    mapper: Optional[Callable],
+    run_one: Callable[[int], Any],
+    trials: int,
+    base_seed: int,
+    label: str,
+    keep: Optional[Callable[[Any], bool]],
+    adaptive: Any,
+    stats_out: Optional[dict] = None,
+) -> List[Any]:
+    """The one adaptive-dispatch forwarding point for every pool flavour."""
+    from repro.experiments.runner import adaptive_monte_carlo  # late: avoids cycle
+
+    return adaptive_monte_carlo(
+        run_one,
+        trials=trials,
+        adaptive=adaptive,
+        base_seed=base_seed,
+        label=label,
+        keep=keep,
+        mapper=mapper,
+        stats_out=stats_out,
+    )
+
+
 class ParallelTrialRunner:
     """Fans independent trials across ``multiprocessing`` workers.
 
@@ -135,6 +160,51 @@ class ParallelTrialRunner:
         finally:
             _WORKER_FN = previous
 
+    @contextmanager
+    def persistent_mapper(
+        self, fn: Callable[[T], R]
+    ) -> Iterator[Optional[Callable[[Callable[[T], R], Sequence[T]], List[R]]]]:
+        """One long-lived fork pool serving many ``map`` calls over ``fn``.
+
+        :meth:`map` forks (and tears down) a fresh pool per call, which is
+        the right trade for one-shot fan-outs but makes a batched consumer
+        -- adaptive stopping dispatches a small batch per convergence check
+        -- pay the pool startup once per batch.  This context manager
+        publishes ``fn`` once, forks a single pool whose workers inherit it,
+        and yields a ``mapper(fn, items)`` usable any number of times; the
+        mapper rejects any other callable, because only ``fn`` crossed the
+        fork.  Yields ``None`` (caller runs serially) for one worker or
+        where ``fork`` is unavailable.  Result order and content are
+        identical to per-call :meth:`map`.
+        """
+        if self.workers == 1 or not fork_available():
+            yield None
+            return
+        global _WORKER_FN
+        previous = _WORKER_FN
+        _WORKER_FN = fn
+        context = multiprocessing.get_context("fork")
+        pool = context.Pool(processes=self.workers)
+        try:
+
+            def mapper(mapped_fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+                if mapped_fn is not fn:
+                    raise ValueError(
+                        "persistent_mapper serves exactly the callable its "
+                        "workers inherited at fork time"
+                    )
+                items = list(items)
+                if not items:
+                    return []
+                chunk = self.chunk_size or max(1, len(items) // (self.workers * 4))
+                return pool.map(_invoke, items, chunksize=chunk)
+
+            yield mapper
+        finally:
+            pool.terminate()
+            pool.join()
+            _WORKER_FN = previous
+
     # ------------------------------------------------------------ monte carlo
 
     def monte_carlo(
@@ -144,16 +214,27 @@ class ParallelTrialRunner:
         base_seed: int = 0,
         label: str = "",
         keep: Optional[Callable[[T], bool]] = None,
+        adaptive: Optional[Any] = None,
+        stats_out: Optional[dict] = None,
     ) -> List[T]:
         """Parallel equivalent of :func:`repro.experiments.runner.monte_carlo`.
 
         Seeds are derived with the identical ``derive_seed(base, "trial{i}")``
         discipline, and the ``keep`` filter is applied in the parent after the
         ordered gather, so the returned list is bit-identical to the serial
-        runner's for any worker count.
+        runner's for any worker count.  ``adaptive`` (an
+        :class:`~repro.experiments.runner.AdaptiveStopping`) dispatches whole
+        batches to one long-lived fork pool (:meth:`persistent_mapper`, not a
+        fresh pool per batch) and stops at batch boundaries -- the stopping
+        point is worker-count independent.
         """
         from repro.experiments.runner import trial_seeds  # late: avoids cycle
 
+        if adaptive is not None:
+            with self.persistent_mapper(run_one) as mapper:
+                return _adaptive_via(
+                    mapper, run_one, trials, base_seed, label, keep, adaptive, stats_out
+                )
         outcomes = self.map(run_one, trial_seeds(base_seed, trials, label))
         if keep is None:
             return outcomes
@@ -265,15 +346,24 @@ class SweepPool:
         base_seed: int = 0,
         label: str = "",
         keep: Optional[Callable[[T], bool]] = None,
+        adaptive: Optional[Any] = None,
+        stats_out: Optional[dict] = None,
     ) -> List[T]:
         """Pool-reusing equivalent of :func:`repro.experiments.runner.monte_carlo`.
 
         Same seed list, same ordered gather, same post-hoc ``keep`` filter;
         only the pool lifetime differs, so results are bit-identical to the
-        serial and :class:`ParallelTrialRunner` paths.
+        serial and :class:`ParallelTrialRunner` paths.  ``adaptive`` stops at
+        worker-count-independent batch boundaries, exactly like the serial
+        rule (see :class:`~repro.experiments.runner.AdaptiveStopping`); its
+        batches ride this pool's long-lived workers.
         """
         from repro.experiments.runner import trial_seeds  # late: avoids cycle
 
+        if adaptive is not None:
+            return _adaptive_via(
+                self.map, run_one, trials, base_seed, label, keep, adaptive, stats_out
+            )
         outcomes = self.map(run_one, trial_seeds(base_seed, trials, label))
         if keep is None:
             return outcomes

@@ -6,18 +6,157 @@ the seed discipline in one place: trial ``i`` of an experiment with base seed
 ``s`` always uses ``derive_seed(s, f"trial{i}")``, so adding trials never
 perturbs existing ones and two experiments with different base seeds never
 share randomness.
+
+Adaptive stopping
+-----------------
+Fixed trial counts pay for precision nobody asked for: an estimator that has
+already converged keeps burning trials, and one that has not silently under-
+delivers.  :class:`AdaptiveStopping` instead runs trials in fixed,
+worker-independent batches and stops as soon as the Student-t confidence
+interval on the target metric is tight enough (relative half-width below
+``ci_tolerance``), bounded by ``min_trials``/``max_trials``.  Because the
+batch boundaries and the derived seed list depend only on the configuration
+-- never on the worker count or on timing -- the executed trial set, the
+stopping point and the returned results are bit-identical for serial,
+:class:`~repro.experiments.parallel.ParallelTrialRunner` and
+:class:`~repro.experiments.parallel.SweepPool` execution.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.experiments.parallel import ParallelTrialRunner, SweepPool
 from repro.sim.rng import derive_seed
 
-__all__ = ["trial_seeds", "monte_carlo", "mean_of_attribute"]
+__all__ = [
+    "AdaptiveStopping",
+    "adaptive_monte_carlo",
+    "adaptive_parameters",
+    "add_adaptive_stopping_arguments",
+    "adaptive_stopping_from_args",
+    "trial_seeds",
+    "monte_carlo",
+    "mean_of_attribute",
+]
 
 T = TypeVar("T")
+
+#: Trials per post-``min_trials`` batch when :class:`AdaptiveStopping` does
+#: not pin one.  Small enough to stop promptly, large enough to keep the
+#: convergence checks (and the per-batch dispatch overhead) rare.
+DEFAULT_ADAPTIVE_BATCH = 8
+
+
+@dataclass(frozen=True)
+class AdaptiveStopping:
+    """Sequential-stopping rule for Monte-Carlo trials.
+
+    Attributes
+    ----------
+    ci_tolerance:
+        Stop once the relative half-width of the ``confidence``-level
+        Student-t interval on the target metric falls to this value or below
+        ("the mean is known to within 5%" is ``0.05``).
+    min_trials:
+        Trials always executed before the first convergence check (>= 2; a
+        confidence interval needs at least two samples).
+    max_trials:
+        Hard cap on executed trials; ``None`` means "the ``trials`` argument
+        of the surrounding call" -- the fixed count becomes the worst case.
+    metric:
+        Attribute of a trial result fed to the interval (``None`` values are
+        skipped, e.g. ``election_time`` of a non-terminating run).  ``None``
+        lets the calling experiment substitute its target metric; anything
+        still unresolved falls back to ``"messages_total"``.
+    confidence:
+        Confidence level of the interval (default 95%).
+    batch_size:
+        Trials per batch after ``min_trials``.  Batches are the atom of both
+        dispatch and decision: the stopping rule only evaluates at batch
+        boundaries, which is what makes the executed trial count independent
+        of the worker count.
+    """
+
+    ci_tolerance: float = 0.05
+    min_trials: int = 8
+    max_trials: Optional[int] = None
+    metric: Optional[str] = None
+    confidence: float = 0.95
+    batch_size: int = DEFAULT_ADAPTIVE_BATCH
+
+    def __post_init__(self) -> None:
+        if self.ci_tolerance <= 0:
+            raise ValueError(f"ci_tolerance must be positive, got {self.ci_tolerance}")
+        if self.min_trials < 2:
+            raise ValueError(f"min_trials must be >= 2, got {self.min_trials}")
+        if self.max_trials is not None and self.max_trials < self.min_trials:
+            raise ValueError(
+                f"max_trials ({self.max_trials}) must be >= min_trials "
+                f"({self.min_trials})"
+            )
+        if not (0.0 < self.confidence < 1.0):
+            raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    def resolved(self, default_metric: str) -> "AdaptiveStopping":
+        """This rule with an unset ``metric`` bound to the experiment's target."""
+        if self.metric is not None:
+            return self
+        return replace(self, metric=default_metric)
+
+
+def adaptive_monte_carlo(
+    run_one: Callable[[int], T],
+    trials: int,
+    adaptive: AdaptiveStopping,
+    base_seed: int = 0,
+    label: str = "",
+    keep: Optional[Callable[[T], bool]] = None,
+    mapper: Optional[Callable[[Callable[[int], T], Sequence[int]], List[T]]] = None,
+    stats_out: Optional[Dict[str, Any]] = None,
+) -> List[T]:
+    """Run trials in batches until the CI on the target metric is tight enough.
+
+    ``mapper`` executes one batch of seeds (``None`` = serial in process;
+    pass :meth:`SweepPool.map` or :meth:`ParallelTrialRunner.map` to fan the
+    batch out -- results and the stopping point are bit-identical either
+    way).  ``stats_out``, when given, receives ``trials_executed`` and
+    ``stopped_early`` for reporting.
+    """
+    from repro.stats.confidence import relative_half_width  # scipy: import late
+
+    adaptive = adaptive.resolved("messages_total")
+    max_trials = adaptive.max_trials if adaptive.max_trials is not None else trials
+    if max_trials < 1:
+        raise ValueError("max_trials must be >= 1")
+    min_trials = min(adaptive.min_trials, max_trials)
+    metric = adaptive.metric
+    seeds = trial_seeds(base_seed, max_trials, label)
+    kept: List[T] = []
+    values: List[float] = []
+    index = 0
+    converged = False
+    while index < max_trials and not converged:
+        upper = min_trials if index < min_trials else min(index + adaptive.batch_size, max_trials)
+        batch = seeds[index:upper]
+        outcomes = mapper(run_one, batch) if mapper is not None else [run_one(s) for s in batch]
+        index = upper
+        for outcome in outcomes:
+            if keep is not None and not keep(outcome):
+                continue
+            kept.append(outcome)
+            value = getattr(outcome, metric)
+            if value is not None:
+                values.append(float(value))
+        if len(values) >= 2:
+            converged = relative_half_width(values, adaptive.confidence) <= adaptive.ci_tolerance
+    if stats_out is not None:
+        stats_out["trials_executed"] = index
+        stats_out["stopped_early"] = converged and index < max_trials
+    return kept
 
 
 def trial_seeds(base_seed: int, trials: int, label: str = "") -> List[int]:
@@ -32,6 +171,89 @@ def trial_seeds(base_seed: int, trials: int, label: str = "") -> List[int]:
     return [derive_seed(base_seed, f"{prefix}{index}") for index in range(trials)]
 
 
+def adaptive_parameters(
+    parameters: Dict[str, Any],
+    adaptive: Optional[AdaptiveStopping],
+    per_point: Sequence[Sequence[Any]],
+) -> Dict[str, Any]:
+    """Augment an experiment's ``parameters`` dict with the adaptive facts.
+
+    The one place the reporting convention lives: experiments record the
+    tolerance and the per-point executed trial counts only when a rule was
+    actually in force, so fixed-count runs keep their historical parameter
+    fingerprints byte-identical.
+    """
+    if adaptive is not None:
+        parameters["ci_tolerance"] = adaptive.ci_tolerance
+        parameters["trials_executed"] = tuple(len(results) for results in per_point)
+    return parameters
+
+
+def add_adaptive_stopping_arguments(parser: Any) -> None:
+    """Install the shared ``--ci-tol``/``--min-trials``/``--max-trials`` flags.
+
+    Used by both ``abe-repro experiment`` and
+    ``scripts/run_all_experiments.py`` so the two entry points cannot drift.
+    """
+    parser.add_argument(
+        "--ci-tol",
+        type=float,
+        default=None,
+        help=(
+            "adaptive stopping: stop each configuration's trials once the "
+            "95%% CI half-width on the target metric falls below this "
+            "fraction of the mean (e.g. 0.1 = known to within 10%%); the "
+            "trial count is identical for any --workers value"
+        ),
+    )
+    parser.add_argument(
+        "--min-trials",
+        type=int,
+        default=None,
+        help="adaptive stopping: trials before the first convergence check (default 8)",
+    )
+    parser.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        help=(
+            "adaptive stopping: hard trial cap (default: the experiment's "
+            "fixed trial count)"
+        ),
+    )
+
+
+def adaptive_stopping_from_args(args: Any) -> Optional[AdaptiveStopping]:
+    """Build the rule from parsed flags; ``None`` when adaptive mode is off.
+
+    ``--min-trials``/``--max-trials`` only make sense together with
+    ``--ci-tol``; rejecting the combination loudly beats silently running
+    the full fixed trial count.
+    """
+    if args.ci_tol is None:
+        if args.min_trials is not None or args.max_trials is not None:
+            raise SystemExit(
+                "--min-trials/--max-trials configure adaptive stopping and "
+                "require --ci-tol (the convergence tolerance) to be set"
+            )
+        return None
+    min_trials = args.min_trials
+    if min_trials is None:
+        # A small --max-trials is a legitimate cap: clamp the default floor
+        # to it instead of tripping the min<=max validation.  Never below 2,
+        # though -- a confidence interval needs two samples, and the min<=max
+        # check then rejects --max-trials 1 with a message naming that flag.
+        min_trials = 8 if args.max_trials is None else max(2, min(8, args.max_trials))
+    try:
+        return AdaptiveStopping(
+            ci_tolerance=args.ci_tol,
+            min_trials=min_trials,
+            max_trials=args.max_trials,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
 def monte_carlo(
     run_one: Callable[[int], T],
     trials: int,
@@ -40,6 +262,8 @@ def monte_carlo(
     keep: Optional[Callable[[T], bool]] = None,
     workers: Optional[int] = 1,
     pool: Optional[SweepPool] = None,
+    adaptive: Optional[AdaptiveStopping] = None,
+    stats_out: Optional[Dict[str, Any]] = None,
 ) -> List[T]:
     """Run ``run_one(seed)`` for ``trials`` derived seeds and collect results.
 
@@ -60,7 +284,48 @@ def monte_carlo(
         Optional shared :class:`~repro.experiments.parallel.SweepPool`;
         overrides ``workers`` and reuses the pool's long-lived workers
         (``run_one`` must then be picklable).  Results stay bit-identical.
+    adaptive:
+        Optional :class:`AdaptiveStopping`; trials then run in fixed batches
+        and stop once the target metric's confidence interval is tight
+        enough.  ``trials`` becomes the default ``max_trials``.  Executed
+        trials and results stay bit-identical for every worker count.
+    stats_out:
+        Optional dict receiving ``trials_executed``/``stopped_early`` when
+        ``adaptive`` is used.
     """
+    if adaptive is not None:
+        if pool is not None:
+            return pool.monte_carlo(
+                run_one,
+                trials=trials,
+                base_seed=base_seed,
+                label=label,
+                keep=keep,
+                adaptive=adaptive,
+                stats_out=stats_out,
+            )
+        if workers is not None and workers == 1:
+            return adaptive_monte_carlo(
+                run_one,
+                trials=trials,
+                adaptive=adaptive,
+                base_seed=base_seed,
+                label=label,
+                keep=keep,
+                stats_out=stats_out,
+            )
+        # workers > 1: one persistent fork pool for all convergence batches
+        # (ParallelTrialRunner.monte_carlo uses persistent_mapper), not a
+        # fresh pool per batch.
+        return ParallelTrialRunner(workers=workers).monte_carlo(
+            run_one,
+            trials=trials,
+            base_seed=base_seed,
+            label=label,
+            keep=keep,
+            adaptive=adaptive,
+            stats_out=stats_out,
+        )
     if pool is not None:
         return pool.monte_carlo(
             run_one, trials=trials, base_seed=base_seed, label=label, keep=keep

@@ -12,7 +12,7 @@ from typing import Callable, Dict, List, Sequence
 from repro.core.analysis import recommended_a0
 from repro.core.runner import ElectionResult, run_election
 from repro.experiments.parallel import SweepPool
-from repro.experiments.runner import monte_carlo
+from repro.experiments.runner import AdaptiveStopping, monte_carlo
 from repro.network.delays import (
     ConstantDelay,
     DelayDistribution,
@@ -110,6 +110,7 @@ def election_trials(
     label: str = "",
     workers: int = 1,
     pool: SweepPool = None,
+    adaptive: AdaptiveStopping = None,
     **election_kwargs,
 ) -> List[ElectionResult]:
     """Run ``trials`` independent elections on a ring of size ``n``.
@@ -119,20 +120,27 @@ def election_trials(
     trials across processes (seed-for-seed identical results, see
     :mod:`repro.experiments.parallel`); passing a ``pool`` instead reuses one
     :class:`~repro.experiments.parallel.SweepPool` across the whole sweep
-    (same seeds, same order -- still bit-identical).
+    (same seeds, same order -- still bit-identical).  ``adaptive`` switches
+    to sequential stopping (``trials`` becomes the trial budget, i.e. the
+    default ``max_trials``); executed trials are worker-count independent.
     """
     chosen_a0 = a0 if a0 is not None else recommended_a0(n)
     chosen_delay = delay if delay is not None else default_delay()
     run_one = ElectionTrial(n, chosen_a0, chosen_delay, election_kwargs)
     label = label or f"n{n}"
+    if adaptive is not None:
+        adaptive = adaptive.resolved("messages_total")
     if pool is not None:
-        return pool.monte_carlo(run_one, trials=trials, base_seed=base_seed, label=label)
+        return pool.monte_carlo(
+            run_one, trials=trials, base_seed=base_seed, label=label, adaptive=adaptive
+        )
     return monte_carlo(
         run_one,
         trials=trials,
         base_seed=base_seed,
         label=label,
         workers=workers,
+        adaptive=adaptive,
     )
 
 
@@ -143,6 +151,7 @@ def election_sweep(
     *,
     workers: int = 1,
     pool: SweepPool = None,
+    adaptive: AdaptiveStopping = None,
     **election_kwargs,
 ) -> Dict[int, List[ElectionResult]]:
     """Run the election at every ring size in ``sizes``; results keyed by size.
@@ -154,7 +163,13 @@ def election_sweep(
     with SweepPool.ensure(pool, workers) as shared:
         return {
             n: election_trials(
-                n, trials, base_seed, label=f"n{n}", pool=shared, **election_kwargs
+                n,
+                trials,
+                base_seed,
+                label=f"n{n}",
+                pool=shared,
+                adaptive=adaptive,
+                **election_kwargs,
             )
             for n in sizes
         }

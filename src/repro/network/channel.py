@@ -66,6 +66,14 @@ _POOLABLE_REFS = 3
 #: pool, so this only caps how many parked records a bursty channel keeps.
 _ENVELOPE_POOL_LIMIT = 32
 
+#: Exact reference count of a delivered *payload* that nothing but the
+#: ``_deliver`` frame can still observe: the frame's ``payload`` local and the
+#: ``getrefcount`` argument itself.  Checked only after the envelope's own
+#: ``payload`` slot has been cleared by the envelope recycle, so a live
+#: envelope (held by a sender, a test, or a retransmission wrapper that
+#: duplicated it) keeps its payload out of the pool automatically.
+_PAYLOAD_POOLABLE_REFS = 2
+
 
 class Channel:
     """A unidirectional, non-FIFO channel with stochastic delays.
@@ -119,6 +127,10 @@ class Channel:
         self._source_uid = source.uid
         self._destination_uid = destination.uid
         self._envelope_pool: List[Envelope] = []
+        # Optional payload free-list hook (e.g. the election runner installs
+        # HopMessagePool.release).  Only consulted once the refcount guards
+        # below prove the delivered payload unobservable.
+        self.payload_recycler = None
         # Subclasses that bend delivery times (FIFO) override _delivery_time;
         # detecting the override once lets the base case skip the method call.
         self._plain_delivery = type(self)._delivery_time is Channel._delivery_time
@@ -319,6 +331,14 @@ class Channel:
         ):
             envelope.payload = None
             self._envelope_pool.append(envelope)
+            # With the envelope's slot cleared, a payload only our local still
+            # references is equally unobservable: hand it to the message pool.
+            # Any other holder -- tracer, test, processing-delay closure, a
+            # retransmission wrapper that kept the envelope or duplicated the
+            # delivery -- raises the count and vetoes the recycle.
+            recycler = self.payload_recycler
+            if recycler is not None and _getrefcount(payload) == _PAYLOAD_POOLABLE_REFS:
+                recycler(payload)
 
     # ------------------------------------------------------------------ stats
 

@@ -84,12 +84,15 @@ class NetworkConfig:
     trace_limit:
         Maximum number of trace events retained.
     batch_sampling:
-        When true, channels draw their delays through a per-channel
+        When true (the default since the fast-path migration; see
+        docs/PERFORMANCE.md "Fast defaults"), channels draw their delays
+        through a per-channel
         :class:`~repro.network.sampling.BlockDelaySampler` (numpy-vectorized
         where the distribution supports it) instead of one ``sample`` call per
         message.  Results stay a deterministic function of ``seed`` but form a
         different random stream than per-message sampling, so compare runs
-        within one mode.  Ignored for adversarial delay models.
+        within one mode; pass ``False`` to reproduce pre-migration streams.
+        Ignored for adversarial delay models.
     batch_block_size:
         Delays prefetched per full-size sampler refill when ``batch_sampling``
         is on; refills grow geometrically up to this size.  The served delay
@@ -113,7 +116,7 @@ class NetworkConfig:
     knowledge_factory: Optional[Callable[[int], Dict[str, Any]]] = None
     enable_trace: bool = True
     trace_limit: Optional[int] = 100_000
-    batch_sampling: bool = False
+    batch_sampling: bool = True
     batch_block_size: int = DEFAULT_BLOCK_SIZE
 
 

@@ -16,18 +16,22 @@ firing through :meth:`~repro.sim.engine.Simulator.reschedule`, which reuses
 the record and consumes the same shared sequence counter -- event ordering is
 bit-identical to the schedule-per-tick code it replaced.
 
-:class:`SharedTickProcess` goes one step further for the drift-free case:
-when every node's clock runs at rate 1 and all share one tick period, their
-ticks land at the same instants, so a *single* heap entry per round can drive
-every node's callback in join order.  That changes the engine-level event
-granularity (one event per round instead of one per node), which is why it is
-opt-in -- see ``batch_ticks`` on :func:`repro.core.runner.build_election_network`
-for the semantics contract.
+:class:`SharedTickProcess` goes one step further: members' ticks are
+*bucketed per instant*, so every group of ticks landing at the same simulated
+time rides a single heap entry.  Each member keeps its own (possibly
+drifting) clock and computes its next tick exactly like a private
+:class:`TickProcess` would, so tick *times* are bit-identical to the per-node
+layout for arbitrary clocks; with drift-free unit-rate clocks all members
+share every instant and the driver degenerates to one heap entry per
+activation round.  What changes is engine-level event granularity (one event
+per occupied instant instead of one per node), which is why ``batch_ticks``
+on :func:`repro.core.runner.build_election_network` documents the semantics
+contract.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.sim.clock import LocalClock
 from repro.sim.engine import Simulator
@@ -175,11 +179,20 @@ class SharedTickMembership:
     interchangeably.
     """
 
-    __slots__ = ("callback", "count", "stopped", "_driver")
+    __slots__ = ("callback", "clock", "period", "count", "stopped", "_driver", "_bucket")
 
-    def __init__(self, driver: "SharedTickProcess", callback: Callable[[int], Optional[bool]]) -> None:
+    def __init__(
+        self,
+        driver: "SharedTickProcess",
+        callback: Callable[[int], Optional[bool]],
+        clock: Optional[LocalClock],
+        period: float,
+    ) -> None:
         self._driver = driver
+        self._bucket: Optional[_TickBucket] = None
         self.callback = callback
+        self.clock = clock
+        self.period = period
         self.count = 0
         self.stopped = False
 
@@ -193,35 +206,55 @@ class SharedTickMembership:
         if self.stopped:
             return
         self.stopped = True
-        self._driver._member_stopped()
+        self._driver._member_stopped(self)
+
+
+class _TickBucket:
+    """Every member whose next tick lands at one instant, plus its heap entry."""
+
+    __slots__ = ("time", "members", "live", "handle")
+
+    def __init__(self, time: float, handle: EventHandle) -> None:
+        self.time = time
+        self.members: List[SharedTickMembership] = []
+        self.live = 0
+        self.handle = handle
 
 
 class SharedTickProcess:
-    """One heap entry per tick round, shared by every joined callback.
+    """Tick driver sharing one heap entry per *instant* across its members.
 
-    All members tick on the driver's **shared round grid** -- every
-    ``period`` from the (re)arming join -- in join order; a callback
-    returning ``False`` or an explicit ``membership.stop()`` removes the
-    member, and the driver cancels its pending event once nobody is left,
-    keeping the queue small.
+    Each member keeps its own :class:`~repro.sim.clock.LocalClock` and local
+    period, and its next tick time is computed exactly as a private
+    :class:`TickProcess` would compute it (``real_duration_for_local`` from
+    the previous tick's instant, clamped away from zero) -- so the sequence
+    of tick *times* each member observes is bit-identical to the per-node
+    layout, for arbitrary (also drifting) clocks.  Members whose next ticks
+    land at the same instant are *bucketed*: the whole bucket rides a single
+    engine event and fires in bucket-append order, which for members joined
+    in uid order at time 0 is exactly the per-node firing order.
 
-    For members that join at the instant the driver arms (the election
-    runner's case: every ``on_start`` runs at time 0, before the first
-    round), this is semantically equivalent to one :class:`TickProcess` per
-    member **when every member's clock is drift-free at rate 1 and all share
-    one period** -- the per-node processes would tick at the same instants,
-    in the same (uid) order.  A member joining *between* rounds instead
-    first ticks at the already-armed next grid round, which can be sooner
-    than the full period a fresh :class:`TickProcess` would wait: a private
-    per-member offset grid is exactly what sharing one heap entry gives up.
+    With drift-free unit-rate clocks every member computes the same next
+    instant, so the driver degenerates to one heap entry per activation
+    round -- the fast path the election runner relies on.  With drifting
+    clocks instants mostly diverge and the driver approaches one entry per
+    member tick, i.e. it never does worse than per-node ticking.
 
-    What changes is engine-level accounting: the simulator processes one
-    event per *round* instead of one per *node and round*, so
-    ``events_processed`` differs from the per-node layout (all simulation
-    outcomes -- states, messages, times, metric counts -- are preserved for
-    delay models that never land a delivery exactly on a tick instant; see
-    the ``batch_ticks`` documentation in :mod:`repro.core.runner`).  Callers
-    are responsible for validating the drift-free clock requirement.
+    What changes against per-node ticking is engine-level accounting: the
+    simulator processes one event per occupied instant, so
+    ``events_processed`` differs, and at an instant shared by a tick bucket
+    and a message delivery the *relative* order of the bucket's later
+    members and the delivery can differ from the per-node interleaving.
+    All simulation outcomes are preserved for delay models that never land
+    a delivery exactly on a tick instant (continuous delays; see the
+    ``batch_ticks`` documentation in :mod:`repro.core.runner`).
+
+    A callback returning ``False`` or an explicit ``membership.stop()``
+    removes the member; a bucket whose members all stopped cancels its
+    pending event, keeping the queue small.  Fired event records are parked
+    on a driver-local spare list and re-armed through
+    :meth:`~repro.sim.engine.Simulator.reschedule`, so steady-state ticking
+    allocates nothing beyond the bucket bookkeeping.
     """
 
     def __init__(
@@ -236,15 +269,14 @@ class SharedTickProcess:
         self._simulator = simulator
         self._period = float(period)
         self._kind = kind
-        self._members: List[SharedTickMembership] = []
+        self._buckets: Dict[float, _TickBucket] = {}
+        self._spare_handles: List[EventHandle] = []
         self._live = 0
         self._rounds = 0
-        self._in_fire = False
-        self._handle: Optional[EventHandle] = None
 
     @property
     def rounds(self) -> int:
-        """Number of tick rounds fired so far."""
+        """Number of tick buckets fired so far."""
         return self._rounds
 
     @property
@@ -252,59 +284,97 @@ class SharedTickProcess:
         """Number of members still receiving ticks."""
         return self._live
 
-    def join(self, callback: Callable[[int], Optional[bool]]) -> SharedTickMembership:
-        """Register ``callback``; its first tick is the next grid round.
+    @property
+    def pending_instants(self) -> int:
+        """Number of distinct future instants currently armed."""
+        return len(self._buckets)
 
-        If the driver is idle (first join, or everyone had left), that round
-        is armed one period from now.  If a round is already pending, the
-        member rides it -- see the class docstring for why a join between
-        rounds therefore waits *less* than a full period.  A member joining
-        mid-round (from another member's callback) is not swept in the
-        current round; its first tick is the round after.
+    def join(
+        self,
+        callback: Callable[[int], Optional[bool]],
+        *,
+        clock: Optional[LocalClock] = None,
+        period: Optional[float] = None,
+    ) -> SharedTickMembership:
+        """Register ``callback``; its first tick is one local period from now.
+
+        ``clock`` translates the member's local ``period`` (default: the
+        driver's period) into real-time delays exactly like a private
+        :class:`TickProcess`; ``None`` means a drift-free unit-rate clock.
+        A member joining from inside another member's tick callback is never
+        swept in the firing bucket -- its first tick lies strictly in the
+        future, exactly where a fresh :class:`TickProcess` would place it.
         """
-        membership = SharedTickMembership(self, callback)
-        self._members.append(membership)
+        local_period = self._period if period is None else float(period)
+        if local_period <= 0:
+            raise ValueError(f"period must be positive, got {local_period}")
+        membership = SharedTickMembership(self, callback, clock, local_period)
         self._live += 1
-        if not self._in_fire:
-            self._arm()
+        self._schedule_next(membership)
         return membership
 
-    def _arm(self) -> None:
-        handle = self._handle
-        if handle is not None and handle.fired:
-            self._simulator.reschedule(handle, self._period)
-        elif handle is None or handle.cancelled:
-            # First arm, or the previous pending event was cancelled when the
-            # last member left (the stale entry is skipped at pop).
-            self._handle = self._simulator.schedule(
-                self._period, self._fire, kind=self._kind
-            )
+    # ------------------------------------------------------------- internals
 
-    def _member_stopped(self) -> None:
+    def _schedule_next(self, member: SharedTickMembership) -> None:
+        now = self._simulator._now
+        clock = member.clock
+        if clock is None:
+            delay = member.period
+        else:
+            delay = clock.real_duration_for_local(now, member.period)
+            if delay < 1e-12:
+                # Same guard as TickProcess: a zero delay caused by floating
+                # point rounding would livelock the simulator at one instant.
+                delay = 1e-12
+        time = now + delay  # identical float to what the engine computes
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            spare = self._spare_handles
+            if spare:
+                handle = spare.pop()
+                self._simulator.reschedule(handle, delay)
+            else:
+                handle = self._simulator.schedule(delay, self._fire, kind=self._kind)
+            bucket = _TickBucket(time, handle)
+            self._buckets[time] = bucket
+        bucket.members.append(member)
+        bucket.live += 1
+        member._bucket = bucket
+
+    def _member_stopped(self, member: SharedTickMembership) -> None:
         self._live -= 1
-        if self._live == 0 and not self._in_fire and self._handle is not None:
-            self._handle.cancel()
+        bucket = member._bucket
+        if bucket is None:
+            return
+        member._bucket = None
+        bucket.live -= 1
+        if bucket.live == 0 and self._buckets.get(bucket.time) is bucket:
+            # Nobody left at this instant: drop the bucket and cancel its
+            # event (the stale heap entry is skipped at pop).  A cancelled,
+            # never-fired record cannot be re-armed, so it is not parked.
+            del self._buckets[bucket.time]
+            bucket.handle.cancel()
 
     def _fire(self) -> None:
-        members = self._members
+        now = self._simulator._now
+        bucket = self._buckets.pop(now, None)
+        if bucket is None:  # pragma: no cover - defensive; stop() cancels
+            return
         self._rounds += 1
-        self._in_fire = True
-        try:
-            # Bounded sweep: members joining during the round are appended
-            # behind this snapshot length and first tick next round.
-            for index in range(len(members)):
-                member = members[index]
-                if member.stopped:
-                    continue
-                result = member.callback(member.count)
-                member.count += 1
-                if result is False and not member.stopped:
-                    member.stopped = True
-                    self._live -= 1
-        finally:
-            self._in_fire = False
-        if self._live == 0:
-            return  # the fired handle is re-armed by the next join, if any
-        if len(members) > 2 * self._live:
-            self._members = [m for m in members if not m.stopped]
-        self._arm()
+        # The fired record can be re-armed immediately (the engine marks it
+        # fired before the callback runs), so rescheduling inside the member
+        # loop below reuses it for the next instant.
+        self._spare_handles.append(bucket.handle)
+        for member in bucket.members:
+            if member.stopped:
+                continue
+            member._bucket = None
+            result = member.callback(member.count)
+            member.count += 1
+            if result is False and not member.stopped:
+                member.stopped = True
+                self._live -= 1
+                continue
+            if member.stopped:  # the callback called stop() explicitly
+                continue
+            self._schedule_next(member)
