@@ -19,16 +19,9 @@ import inspect
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
-from repro.experiments.parallel import (
-    SweepPool,
-    resolve_worker_count,
-    worker_count_argument,
-)
+from repro.experiments.parallel import SweepPool
 from repro.experiments.reporting import render_experiment
-from repro.experiments.runner import (
-    add_adaptive_stopping_arguments,
-    adaptive_stopping_from_args,
-)
+from repro.experiments.runner import add_execution_arguments, execution_from_args
 
 
 def main() -> int:
@@ -39,19 +32,10 @@ def main() -> int:
         default="experiments_report.txt",
         help="where to write the concatenated report",
     )
-    parser.add_argument(
-        "--workers",
-        type=worker_count_argument,
-        default=1,
-        help=(
-            "worker processes for Monte-Carlo trials (default 1 = serial; "
-            "0 = one per CPU; results are identical for any value)"
-        ),
-    )
-    add_adaptive_stopping_arguments(parser)
+    add_execution_arguments(parser, workers_default=1)
     args = parser.parse_args()
-    workers = resolve_worker_count(args.workers)
-    adaptive = adaptive_stopping_from_args(args)
+    workers, adaptive = execution_from_args(args)
+    workers = workers if workers is not None else 1
 
     sections = []
     total_started = time.time()

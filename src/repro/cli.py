@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Installed as the ``abe-repro`` console script.  Three sub-commands:
+Installed as the ``abe-repro`` console script.  Four sub-commands:
 
 ``abe-repro elect``
     Run one leader election on an ABE ring and print the outcome.
@@ -9,8 +9,15 @@ Installed as the ``abe-repro`` console script.  Three sub-commands:
     Run one of the experiments (e1..e8, a1, a2) with optionally reduced trial
     counts and print its tables -- the same tables EXPERIMENTS.md records.
 
+``abe-repro scenario <spec.json>``
+    Run a declarative scenario (or study) spec file through
+    :func:`repro.scenarios.runtime.run_scenario` -- any registered algorithm
+    on any registered topology, no Python required.  See
+    ``examples/scenarios/`` and ``docs/SCENARIOS.md``.
+
 ``abe-repro list``
-    List the available experiments with their claims.
+    List the available experiments with their claims, plus the registered
+    scenario algorithms and topologies.
 """
 
 from __future__ import annotations
@@ -22,12 +29,8 @@ from typing import List, Optional
 from repro.core.analysis import recommended_a0
 from repro.core.runner import run_election
 from repro.experiments import ALL_EXPERIMENTS
-from repro.experiments.parallel import resolve_worker_count, worker_count_argument
 from repro.experiments.reporting import render_experiment
-from repro.experiments.runner import (
-    add_adaptive_stopping_arguments,
-    adaptive_stopping_from_args,
-)
+from repro.experiments.runner import add_execution_arguments, execution_from_args
 
 __all__ = ["main", "build_parser"]
 
@@ -66,18 +69,23 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--seed", type=int, default=None, help="override the base seed"
     )
-    experiment.add_argument(
-        "--workers",
-        type=worker_count_argument,
-        default=None,
-        help=(
-            "worker processes for Monte-Carlo trials (default 1 = serial; "
-            "0 = one per CPU; results are identical for any value)"
-        ),
-    )
-    add_adaptive_stopping_arguments(experiment)
+    add_execution_arguments(experiment)
 
-    subparsers.add_parser("list", help="list available experiments")
+    scenario = subparsers.add_parser(
+        "scenario", help="run a declarative scenario spec file (JSON)"
+    )
+    scenario.add_argument(
+        "spec_path", help="path to a ScenarioSpec (or StudySpec) JSON file"
+    )
+    scenario.add_argument(
+        "--trials", type=int, default=None, help="override the spec's trial count"
+    )
+    scenario.add_argument(
+        "--seed", type=int, default=None, help="override the spec's base seed"
+    )
+    add_execution_arguments(scenario)
+
+    subparsers.add_parser("list", help="list experiments, algorithms and topologies")
     return parser
 
 
@@ -110,9 +118,9 @@ def _command_experiment(args: argparse.Namespace) -> int:
         kwargs["trials"] = args.trials
     if args.seed is not None and "base_seed" in supported:
         kwargs["base_seed"] = args.seed
-    if args.workers is not None and "workers" in supported:
-        kwargs["workers"] = resolve_worker_count(args.workers)
-    adaptive = adaptive_stopping_from_args(args)
+    workers, adaptive = execution_from_args(args)
+    if workers is not None and "workers" in supported:
+        kwargs["workers"] = workers
     if adaptive is not None:
         if "adaptive" not in supported:
             print(
@@ -126,11 +134,68 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        ALGORITHMS,
+        StudySpec,
+        load_spec,
+        render_scenario,
+        run_scenario,
+        run_study,
+    )
+
+    try:
+        spec = load_spec(args.spec_path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error)) from None
+    workers, adaptive = execution_from_args(args)
+
+    def adjust(point):
+        if args.trials is not None and point.algorithm in ALGORITHMS:
+            # One-shot workloads are a single evaluation per point; their
+            # trial count is structural, not a knob.
+            if not ALGORITHMS.get(point.algorithm).one_shot:
+                point = point.replace(trials=max(1, args.trials))
+        if args.seed is not None:
+            point = point.replace(seed=args.seed)
+        return point
+
+    try:
+        if isinstance(spec, StudySpec):
+            study = StudySpec(
+                name=spec.name,
+                title=spec.title,
+                metric=spec.metric,
+                points=tuple(adjust(point) for point in spec.points),
+            )
+            per_point = run_study(
+                study, workers=workers if workers is not None else 1, adaptive=adaptive
+            )
+            print(f"== study: {study.name} ==")
+            for point, results in zip(study.points, per_point):
+                print()
+                print(render_scenario(point, results))
+        else:
+            point = adjust(spec)
+            results = run_scenario(point, workers=workers, adaptive=adaptive)
+            print(render_scenario(point, results))
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    return 0
+
+
 def _command_list() -> int:
+    from repro.scenarios import ALGORITHMS, TOPOLOGIES
+
     for experiment_id in sorted(ALL_EXPERIMENTS):
         module = ALL_EXPERIMENTS[experiment_id]
         print(f"{experiment_id}: {module.TITLE}")
         print(f"    {module.CLAIM}")
+    print()
+    print("scenario algorithms (abe-repro scenario <spec.json>):")
+    for key in ALGORITHMS.known():
+        print(f"    {key}: {ALGORITHMS.get(key).description}")
+    print(f"scenario topologies: {', '.join(TOPOLOGIES.known())}")
     return 0
 
 
@@ -142,6 +207,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_elect(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "scenario":
+        return _command_scenario(args)
     if args.command == "list":
         return _command_list()
     parser.print_help()

@@ -14,11 +14,13 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.activation import AdaptiveActivation, ConstantActivation
 from repro.core.analysis import recommended_a0
+from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
 from repro.experiments.runner import AdaptiveStopping
-from repro.experiments.workloads import election_trials
+from repro.experiments.workloads import election_spec
+from repro.scenarios.runtime import run_study
+from repro.scenarios.spec import SpecNode, StudySpec
 from repro.stats.confidence import confidence_interval
 
 EXPERIMENT_ID = "a1"
@@ -29,9 +31,37 @@ CLAIM = (
     "the same A0."
 )
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "build_study", "run"]
 
 DEFAULT_SIZES: Sequence[int] = (8, 16, 32, 64)
+
+#: Schedule variants compared per ring size, in report order.
+SCHEDULE_VARIANTS: Sequence[str] = ("adaptive", "constant")
+
+
+def build_study(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    trials: int = 25,
+    base_seed: int = 101,
+) -> StudySpec:
+    """The A1 battery: adaptive vs constant schedule at every size."""
+    points = []
+    for n in sizes:
+        a0 = recommended_a0(n)
+        for variant in SCHEDULE_VARIANTS:
+            points.append(
+                election_spec(
+                    n,
+                    trials,
+                    base_seed,
+                    a0=a0,
+                    schedule=SpecNode(variant, {"a0": a0}),
+                    label=f"{variant}-n{n}",
+                )
+            )
+    return StudySpec(
+        name=EXPERIMENT_ID, title=TITLE, metric="election_time", points=tuple(points)
+    )
 
 
 def run(
@@ -39,6 +69,7 @@ def run(
     trials: int = 25,
     base_seed: int = 101,
     workers: int = 1,
+    pool: SweepPool = None,
     adaptive: Optional[AdaptiveStopping] = None,
 ) -> ExperimentResult:
     """Run the schedule ablation and return the A1 result."""
@@ -58,23 +89,14 @@ def run(
         ],
     )
     time_ratio_worst = 0.0
-    for n in sizes:
+    sizes = list(sizes)
+    study = build_study(sizes=sizes, trials=trials, base_seed=base_seed)
+    per_point = run_study(study, pool=pool, workers=workers, adaptive=adaptive)
+    for size_index, n in enumerate(sizes):
         a0 = recommended_a0(n)
         per_schedule_time = {}
-        for label, schedule in (
-            ("adaptive", AdaptiveActivation(a0)),
-            ("constant", ConstantActivation(a0)),
-        ):
-            results = election_trials(
-                n,
-                trials,
-                base_seed,
-                a0=a0,
-                schedule=schedule,
-                label=f"{label}-n{n}",
-                workers=workers,
-                adaptive=adaptive,
-            )
+        for variant_index, label in enumerate(SCHEDULE_VARIANTS):
+            results = per_point[size_index * len(SCHEDULE_VARIANTS) + variant_index]
             elected = [r for r in results if r.elected]
             messages = confidence_interval([float(r.messages_total) for r in elected])
             times = confidence_interval(

@@ -19,9 +19,12 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.analysis import recommended_a0
-from repro.core.runner import run_election
+from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
-from repro.experiments.runner import AdaptiveStopping, monte_carlo
+from repro.experiments.runner import AdaptiveStopping
+from repro.experiments.workloads import election_spec
+from repro.scenarios.runtime import run_study
+from repro.scenarios.spec import StudySpec
 from repro.stats.estimators import mean
 
 EXPERIMENT_ID = "a2"
@@ -31,12 +34,41 @@ CLAIM = (
     "loses its linear message complexity and its single-leader safety argument."
 )
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "build_study", "run"]
 
 DEFAULT_SIZES: Sequence[int] = (8, 16)
 
 #: Event budget per run for the (potentially non-terminating) no-purge variant.
 EVENT_BUDGET_PER_NODE = 8_000
+
+#: Purge variants compared per ring size, in report order.
+PURGE_VARIANTS: Sequence[tuple] = (("purge (paper)", True), ("no purge", False))
+
+
+def build_study(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    trials: int = 12,
+    base_seed: int = 202,
+) -> StudySpec:
+    """The A2 battery: paper purging vs no purging, event-budget bounded."""
+    points = []
+    for n in sizes:
+        a0 = recommended_a0(n)
+        for variant, purge in PURGE_VARIANTS:
+            points.append(
+                election_spec(
+                    n,
+                    trials,
+                    base_seed,
+                    a0=a0,
+                    purge_at_active=purge,
+                    max_events=EVENT_BUDGET_PER_NODE * n,
+                    label=f"{variant}-n{n}",
+                )
+            )
+    return StudySpec(
+        name=EXPERIMENT_ID, title=TITLE, metric="messages_total", points=tuple(points)
+    )
 
 
 def run(
@@ -44,6 +76,7 @@ def run(
     trials: int = 12,
     base_seed: int = 202,
     workers: int = 1,
+    pool: SweepPool = None,
     adaptive: Optional[AdaptiveStopping] = None,
 ) -> ExperimentResult:
     """Run the purge ablation and return the A2 result."""
@@ -64,23 +97,12 @@ def run(
     nopurge_messages = {}
     nopurge_safety_violations = 0
     nopurge_nontermination = 0
-    for n in sizes:
-        a0 = recommended_a0(n)
-        for variant, purge in (("purge (paper)", True), ("no purge", False)):
-            outcomes = monte_carlo(
-                lambda seed: run_election(
-                    n,
-                    a0=a0,
-                    seed=seed,
-                    purge_at_active=purge,
-                    max_events=EVENT_BUDGET_PER_NODE * n,
-                ),
-                trials=trials,
-                base_seed=base_seed,
-                label=f"{variant}-n{n}",
-                workers=workers,
-                adaptive=adaptive,
-            )
+    sizes = list(sizes)
+    study = build_study(sizes=sizes, trials=trials, base_seed=base_seed)
+    per_point = run_study(study, pool=pool, workers=workers, adaptive=adaptive)
+    for size_index, n in enumerate(sizes):
+        for variant_index, (variant, purge) in enumerate(PURGE_VARIANTS):
+            outcomes = per_point[size_index * len(PURGE_VARIANTS) + variant_index]
             terminated = [o for o in outcomes if o.elected]
             message_counts = [float(o.messages_total) for o in outcomes]
             multi_leader = sum(1 for o in outcomes if o.leaders_elected > 1)

@@ -20,7 +20,9 @@ from repro.core.analysis import async_ring_message_lower_bound, recommended_a0
 from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
 from repro.experiments.runner import AdaptiveStopping, adaptive_parameters
-from repro.experiments.workloads import DEFAULT_RING_SIZES, DEFAULT_TRIALS, election_trials
+from repro.experiments.workloads import DEFAULT_RING_SIZES, DEFAULT_TRIALS, election_spec
+from repro.scenarios.runtime import run_study
+from repro.scenarios.spec import StudySpec
 from repro.stats.complexity_fit import best_growth_order
 from repro.stats.confidence import confidence_interval
 
@@ -31,7 +33,25 @@ CLAIM = (
     "unidirectional ABE rings of known size n."
 )
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "build_study", "run"]
+
+
+def build_study(
+    sizes: Sequence[int] = DEFAULT_RING_SIZES,
+    trials: int = DEFAULT_TRIALS,
+    base_seed: int = 11,
+    election_overrides: Optional[Dict] = None,
+) -> StudySpec:
+    """The E1 battery: the default election at every ring size."""
+    overrides = election_overrides or {}
+    return StudySpec(
+        name=EXPERIMENT_ID,
+        title=TITLE,
+        metric="messages_total",
+        points=tuple(
+            election_spec(n, trials, base_seed, **overrides) for n in sizes
+        ),
+    )
 
 
 def run(
@@ -45,17 +65,19 @@ def run(
 ) -> ExperimentResult:
     """Run the message-complexity sweep and return the E1 result.
 
-    ``workers`` fans each size's trials across one shared
-    :class:`~repro.experiments.parallel.SweepPool` (created here unless an
-    external ``pool`` is passed in); results are bit-identical to serial.
-    ``adaptive`` stops each size's trials once the message-count CI is tight
-    enough (``trials`` becomes the budget); ``election_overrides`` forwards
-    extra :func:`~repro.core.runner.run_election` keywords (e.g.
+    The sweep itself is declarative (:func:`build_study` +
+    :func:`~repro.scenarios.runtime.run_study`); this function is the thin
+    analysis callback over the per-size result lists.  ``workers`` fans each
+    size's trials across one shared
+    :class:`~repro.experiments.parallel.SweepPool` (created by ``run_study``
+    unless an external ``pool`` is passed in); results are bit-identical to
+    serial.  ``adaptive`` stops each size's trials once the message-count CI
+    is tight enough (``trials`` becomes the budget); ``election_overrides``
+    forwards extra :func:`~repro.core.runner.run_election` keywords (e.g.
     ``batch_sampling=False`` to reproduce the pre-fast-default streams).
     """
     if adaptive is not None:
         adaptive = adaptive.resolved("messages_total")
-    overrides = election_overrides or {}
     table = ResultTable(
         title="E1: messages to elect a leader (mean over trials)",
         columns=[
@@ -70,13 +92,10 @@ def run(
     )
     sizes = list(sizes)
     means = []
-    with SweepPool.ensure(pool, workers) as shared:
-        per_size = [
-            election_trials(
-                n, trials, base_seed, pool=shared, adaptive=adaptive, **overrides
-            )
-            for n in sizes
-        ]
+    study = build_study(
+        sizes=sizes, trials=trials, base_seed=base_seed, election_overrides=election_overrides
+    )
+    per_size = run_study(study, pool=pool, workers=workers, adaptive=adaptive)
     for n, results in zip(sizes, per_size):
         elected = [r for r in results if r.elected]
         message_counts = [float(r.messages_total) for r in elected]

@@ -17,7 +17,9 @@ from repro.core.analysis import recommended_a0
 from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
 from repro.experiments.runner import AdaptiveStopping, adaptive_parameters
-from repro.experiments.workloads import DEFAULT_RING_SIZES, DEFAULT_TRIALS, election_trials
+from repro.experiments.workloads import DEFAULT_RING_SIZES, DEFAULT_TRIALS, election_spec
+from repro.scenarios.runtime import run_study
+from repro.scenarios.spec import StudySpec
 from repro.stats.complexity_fit import best_growth_order
 from repro.stats.confidence import confidence_interval
 
@@ -28,7 +30,21 @@ CLAIM = (
     "unidirectional ABE rings of known size n."
 )
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "build_study", "run"]
+
+
+def build_study(
+    sizes: Sequence[int] = DEFAULT_RING_SIZES,
+    trials: int = DEFAULT_TRIALS,
+    base_seed: int = 22,
+) -> StudySpec:
+    """The E2 battery: identical sweep to E1, targeting the election time."""
+    return StudySpec(
+        name=EXPERIMENT_ID,
+        title=TITLE,
+        metric="election_time",
+        points=tuple(election_spec(n, trials, base_seed) for n in sizes),
+    )
 
 
 def run(
@@ -62,11 +78,8 @@ def run(
     )
     sizes = list(sizes)
     means = []
-    with SweepPool.ensure(pool, workers) as shared:
-        per_size = [
-            election_trials(n, trials, base_seed, pool=shared, adaptive=adaptive)
-            for n in sizes
-        ]
+    study = build_study(sizes=sizes, trials=trials, base_seed=base_seed)
+    per_size = run_study(study, pool=pool, workers=workers, adaptive=adaptive)
     for n, results in zip(sizes, per_size):
         elected = [r for r in results if r.elected]
         times = [float(r.election_time) for r in elected if r.election_time is not None]

@@ -18,7 +18,9 @@ from repro.core.analysis import recommended_a0, ring_pressure_per_tick
 from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
 from repro.experiments.runner import AdaptiveStopping, adaptive_parameters
-from repro.experiments.workloads import election_trials
+from repro.experiments.workloads import election_spec
+from repro.scenarios.runtime import run_study
+from repro.scenarios.spec import StudySpec
 from repro.stats.confidence import confidence_interval
 
 EXPERIMENT_ID = "e3"
@@ -28,10 +30,35 @@ CLAIM = (
     "expected activation per ring traversal (approximately 1/n^2) balances both."
 )
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "build_study", "run"]
 
 #: Multipliers applied to the recommended A0 in the sweep.
 DEFAULT_MULTIPLIERS: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0, 16.0, 64.0)
+
+
+def build_study(
+    n: int = 32,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    trials: int = 20,
+    base_seed: int = 33,
+    election_overrides: Optional[Dict] = None,
+) -> StudySpec:
+    """The E3 battery: one fixed-size election per A0 multiplier."""
+    overrides = election_overrides or {}
+    reference_a0 = recommended_a0(n)
+    # One clamp, shared by the trial fan-out and the reported table rows.
+    a0_values = [min(0.999, reference_a0 * multiplier) for multiplier in multipliers]
+    return StudySpec(
+        name=EXPERIMENT_ID,
+        title=TITLE,
+        metric="messages_total",
+        points=tuple(
+            election_spec(
+                n, trials, base_seed, a0=a0, label=f"a0x{multiplier}", **overrides
+            )
+            for multiplier, a0 in zip(multipliers, a0_values)
+        ),
+    )
 
 
 def run(
@@ -70,22 +97,15 @@ def run(
         ],
     )
     rows = []
-    # One clamp, shared by the trial fan-out and the reported table rows.
-    a0_values = [min(0.999, reference_a0 * multiplier) for multiplier in multipliers]
-    with SweepPool.ensure(pool, workers) as shared:
-        per_point = [
-            election_trials(
-                n,
-                trials,
-                base_seed,
-                a0=a0,
-                label=f"a0x{multiplier}",
-                pool=shared,
-                adaptive=adaptive,
-                **overrides,
-            )
-            for multiplier, a0 in zip(multipliers, a0_values)
-        ]
+    study = build_study(
+        n=n,
+        multipliers=multipliers,
+        trials=trials,
+        base_seed=base_seed,
+        election_overrides=overrides,
+    )
+    a0_values = [point.a0 for point in study.points]
+    per_point = run_study(study, pool=pool, workers=workers, adaptive=adaptive)
     for multiplier, a0, results in zip(multipliers, a0_values, per_point):
         elected = [r for r in results if r.elected]
         messages = confidence_interval([float(r.messages_total) for r in elected])

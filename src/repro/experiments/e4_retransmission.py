@@ -16,16 +16,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.parallel import parallel_map
+from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
-from repro.network.retransmission import (
-    GeometricRetransmissionDelay,
-    LossyChannelModel,
-    expected_transmissions,
-    tail_probability,
-)
-from repro.sim.rng import RandomSource
-from repro.stats.distributions import tail_mass
+from repro.network.retransmission import expected_transmissions, tail_probability
+from repro.scenarios.runtime import run_study
+from repro.scenarios.spec import ScenarioSpec, StudySpec
 
 EXPERIMENT_ID = "e4"
 TITLE = "Retransmission over a lossy channel: k_avg = 1/p"
@@ -34,9 +29,37 @@ CLAIM = (
     "1/p; with unit transmission time the expected delay is 1/p as well."
 )
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "build_study", "run"]
 
 DEFAULT_PROBABILITIES: Sequence[float] = (0.1, 0.2, 0.3, 0.5, 0.7, 0.9)
+
+
+def build_study(
+    probabilities: Sequence[float] = DEFAULT_PROBABILITIES,
+    messages: int = 20_000,
+    tail_k: int = 5,
+    base_seed: int = 44,
+) -> StudySpec:
+    """The E4 battery: one one-shot channel measurement per probability.
+
+    Measurement streams are named per probability inside the runner
+    (:func:`repro.scenarios.algorithms.measure_lossy_channel`), so fanning
+    the points across workers is bit-identical to a serial loop.
+    """
+    return StudySpec(
+        name=EXPERIMENT_ID,
+        title=TITLE,
+        metric="closed_form_mean_delay",
+        points=tuple(
+            ScenarioSpec(
+                algorithm="lossy-channel",
+                seed=base_seed,
+                label=f"p{p}",
+                params={"p": p, "messages": messages, "tail_k": tail_k},
+            )
+            for p in probabilities
+        ),
+    )
 
 
 def run(
@@ -45,6 +68,7 @@ def run(
     tail_k: int = 5,
     base_seed: int = 44,
     workers: int = 1,
+    pool: SweepPool = None,
 ) -> ExperimentResult:
     """Measure the retransmission channel across success probabilities."""
     table = ResultTable(
@@ -61,24 +85,13 @@ def run(
         ],
     )
 
-    def measure(p: float) -> tuple:
-        # Streams are named per probability, so a fresh RandomSource per
-        # measurement draws the exact same streams a shared one would --
-        # which is what makes the fan-out bit-identical to the serial loop.
-        source = RandomSource(base_seed)
-        channel = LossyChannelModel(success_probability=p, transmission_time=1.0)
-        channel_rng = source.stream(f"channel/p{p}")
-        for _ in range(messages):
-            channel.transmit(channel_rng)
-        mechanistic = channel.observed_mean_attempts()
-
-        distribution = GeometricRetransmissionDelay(p, transmission_time=1.0)
-        dist_rng = source.stream(f"distribution/p{p}")
-        samples = distribution.sample_many(dist_rng, messages)
-        closed_form = sum(samples) / len(samples)
-        return mechanistic, closed_form, tail_mass(samples, float(tail_k))
-
-    measurements = parallel_map(measure, list(probabilities), workers=workers)
+    study = build_study(
+        probabilities=probabilities, messages=messages, tail_k=tail_k, base_seed=base_seed
+    )
+    measurements = [
+        point_results[0]
+        for point_results in run_study(study, pool=pool, workers=workers)
+    ]
     max_relative_error = 0.0
     for p, (mechanistic, closed_form, tail_measured) in zip(probabilities, measurements):
         theory = expected_transmissions(p)

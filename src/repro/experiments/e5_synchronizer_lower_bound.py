@@ -16,23 +16,22 @@ flooding) and the same topologies:
 * the ABD synchronizer undercuts ``n`` messages per round, is correct when the
   delays really are bounded, and breaks on ABE delays (late messages appear
   and/or results diverge from the ground truth).
+
+The per-size battery itself (alpha/beta/ABD x ABE/ABD delays, ring + random
+graph) lives in :func:`repro.scenarios.algorithms.run_synchronizer_battery`
+and is reachable declaratively as the ``synchronizer-battery`` algorithm;
+this module is the analysis callback over the battery rows.
 """
 
 from __future__ import annotations
 
-from functools import partial
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.algorithms.synchronous import FloodingSync, SynchronousExecutor
 from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
-from repro.network.delays import ExponentialDelay, UniformDelay
-from repro.network.topology import Topology, bidirectional_ring, random_connected
-from repro.synchronizers.abd import AbdSynchronizerProgram
-from repro.synchronizers.alpha import AlphaSynchronizerProgram
-from repro.synchronizers.base import SynchronizedRunResult, run_synchronized
-from repro.synchronizers.beta import BetaSynchronizerProgram, build_bfs_tree
-from repro.synchronizers.lower_bound import theorem1_lower_bound, theorem1_satisfied
+from repro.scenarios.algorithms import ABD_DELAY_BOUND  # noqa: F401  (re-export)
+from repro.scenarios.runtime import run_study
+from repro.scenarios.spec import ScenarioSpec, SpecNode, StudySpec
 
 EXPERIMENT_ID = "e5"
 TITLE = "Theorem 1: messages per round needed to synchronise an ABE network"
@@ -41,118 +40,36 @@ CLAIM = (
     "per round; the message-free ABD synchronizer is unsound on ABE delays."
 )
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "ABD_DELAY_BOUND", "build_study", "run"]
 
 DEFAULT_SIZES: Sequence[int] = (8, 16, 32)
 
-#: The hard bound the ABD synchronizer believes in, and the bounded delay
-#: distribution used for the "genuine ABD network" runs.
-ABD_DELAY_BOUND = 2.0
 
-
-def _flooding_factory(initiator: int, rounds: int):
-    def factory(uid: int) -> FloodingSync:
-        return FloodingSync(
-            is_initiator=(uid == initiator), value="flood-payload", max_rounds=rounds
-        )
-
-    return factory
-
-
-def _ground_truth(topology: Topology, rounds: int) -> List:
-    executor = SynchronousExecutor(topology, _flooding_factory(0, rounds))
-    return executor.run(max_rounds=rounds + 1).results
-
-
-def _run_case(
-    topology: Topology,
-    synchronizer: str,
-    rounds: int,
-    seed: int,
-    abe_delays: bool,
-) -> SynchronizedRunResult:
-    delay = (
-        ExponentialDelay(mean=1.0)
-        if abe_delays
-        else UniformDelay(0.25, ABD_DELAY_BOUND)
+def build_study(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    rounds: Optional[int] = None,
+    base_seed: int = 55,
+    include_random_graph: bool = True,
+) -> StudySpec:
+    """The E5 battery: one one-shot synchronizer battery per network size."""
+    return StudySpec(
+        name=EXPERIMENT_ID,
+        title=TITLE,
+        metric="messages_per_round",
+        points=tuple(
+            ScenarioSpec(
+                algorithm="synchronizer-battery",
+                topology=SpecNode("biring", {"n": n}),
+                seed=base_seed,
+                label=f"n{n}",
+                params={
+                    "rounds": rounds,
+                    "include_random_graph": include_random_graph,
+                },
+            )
+            for n in sizes
+        ),
     )
-    process_factory = _flooding_factory(0, rounds)
-    if synchronizer == "alpha":
-        return run_synchronized(
-            topology,
-            process_factory,
-            lambda uid, p, tr, st: AlphaSynchronizerProgram(p, tr, st),
-            total_rounds=rounds,
-            synchronizer_name="alpha",
-            delay=delay,
-            seed=seed,
-        )
-    if synchronizer == "beta":
-        tree = build_bfs_tree(topology)
-        return run_synchronized(
-            topology,
-            process_factory,
-            lambda uid, p, tr, st: BetaSynchronizerProgram(p, tr, st),
-            total_rounds=rounds,
-            synchronizer_name="beta",
-            delay=delay,
-            seed=seed,
-            knowledge_factory=lambda uid: tree[uid],
-        )
-    if synchronizer == "abd":
-        return run_synchronized(
-            topology,
-            process_factory,
-            lambda uid, p, tr, st: AbdSynchronizerProgram(
-                p, tr, st, delay_bound=ABD_DELAY_BOUND
-            ),
-            total_rounds=rounds,
-            synchronizer_name="abd",
-            delay=delay,
-            seed=seed,
-        )
-    raise ValueError(f"unknown synchronizer {synchronizer!r}")
-
-
-def _run_size_battery(
-    rounds: Optional[int], base_seed: int, include_random_graph: bool, n: int
-) -> List[dict]:
-    """All cases for one ring size; rows carry only primitives so the per-size
-    batteries can run in (long-lived) worker processes.  Module-level -- and
-    invoked through :func:`functools.partial` -- so it pickles into a shared
-    :class:`~repro.experiments.parallel.SweepPool`."""
-    rows: List[dict] = []
-    topologies: List[Topology] = [bidirectional_ring(n)]
-    if include_random_graph:
-        topologies.append(random_connected(n, edge_probability=0.3, seed=base_seed + n))
-    for topology in topologies:
-        round_count = rounds if rounds is not None else max(4, n // 2)
-        truth = _ground_truth(topology, round_count)
-        cases = [
-            ("alpha", True),
-            ("beta", True),
-            ("abd", False),
-            ("abd", True),
-        ]
-        for synchronizer, abe_delays in cases:
-            result = _run_case(
-                topology, synchronizer, round_count, base_seed + n, abe_delays
-            )
-            matches = result.results == truth and result.completed
-            rows.append(
-                dict(
-                    topology=topology.name,
-                    n=n,
-                    synchronizer=synchronizer,
-                    delay_model="ABE (exponential)" if abe_delays else "ABD (bounded)",
-                    messages_per_round=result.messages_per_round,
-                    theorem1_bound=theorem1_lower_bound(n),
-                    meets_theorem1=theorem1_satisfied(result),
-                    late_messages=result.late_messages,
-                    matches_ground_truth=matches,
-                )
-            )
-    return rows
 
 
 def run(
@@ -179,9 +96,16 @@ def run(
         ],
     )
 
-    battery = partial(_run_size_battery, rounds, base_seed, include_random_graph)
-    with SweepPool.ensure(pool, workers) as shared:
-        batteries = shared.map(battery, list(sizes))
+    study = build_study(
+        sizes=sizes,
+        rounds=rounds,
+        base_seed=base_seed,
+        include_random_graph=include_random_graph,
+    )
+    batteries = [
+        point_results[0]
+        for point_results in run_study(study, pool=pool, workers=workers)
+    ]
 
     sound_always_above_bound = True
     abd_below_bound_somewhere = False

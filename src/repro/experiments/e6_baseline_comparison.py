@@ -17,19 +17,15 @@ the identifier-based baselines grow like ``n log n``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.algorithms.leader_election import (
-    run_chang_roberts,
-    run_dolev_klawe_rodeh,
-    run_franklin,
-    run_itai_rodeh,
-)
 from repro.core.analysis import async_ring_message_lower_bound
+from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
-from repro.experiments.runner import AdaptiveStopping, monte_carlo
-from repro.experiments.workloads import election_trials
-from repro.network.delays import ExponentialDelay
+from repro.experiments.runner import AdaptiveStopping
+from repro.experiments.workloads import election_spec
+from repro.scenarios.runtime import run_study
+from repro.scenarios.spec import ScenarioSpec, SpecNode, StudySpec
 from repro.stats.complexity_fit import best_growth_order
 from repro.stats.confidence import confidence_interval
 
@@ -41,18 +37,45 @@ CLAIM = (
     "classical identifier-based elections."
 )
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "build_study", "run"]
 
 DEFAULT_SIZES: Sequence[int] = (8, 16, 32, 64)
 
+#: Comparison order: the paper's algorithm first, then the baselines.
+ALGORITHM_ORDER: Tuple[str, ...] = (
+    "abe-election",
+    "itai-rodeh",
+    "chang-roberts",
+    "dolev-klawe-rodeh",
+    "franklin",
+)
 
-def _baseline_runners() -> Dict[str, Callable]:
-    return {
-        "itai-rodeh": run_itai_rodeh,
-        "chang-roberts": run_chang_roberts,
-        "dolev-klawe-rodeh": run_dolev_klawe_rodeh,
-        "franklin": run_franklin,
-    }
+
+def build_study(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    trials: int = 15,
+    base_seed: int = 66,
+) -> StudySpec:
+    """The E6 battery: every algorithm at every ring size, in report order."""
+    points: List[ScenarioSpec] = []
+    for name in ALGORITHM_ORDER:
+        for n in sizes:
+            if name == "abe-election":
+                points.append(election_spec(n, trials, base_seed, label=f"abe-n{n}"))
+            else:
+                points.append(
+                    ScenarioSpec(
+                        algorithm=name,
+                        topology=SpecNode("uniring", {"n": n}),
+                        delay=SpecNode("exponential", {"mean": 1.0}),
+                        seed=base_seed,
+                        trials=trials,
+                        label=f"{name}-n{n}",
+                    )
+                )
+    return StudySpec(
+        name=EXPERIMENT_ID, title=TITLE, metric="messages_total", points=tuple(points)
+    )
 
 
 def run(
@@ -60,6 +83,7 @@ def run(
     trials: int = 15,
     base_seed: int = 66,
     workers: int = 1,
+    pool: SweepPool = None,
     adaptive: Optional[AdaptiveStopping] = None,
 ) -> ExperimentResult:
     """Run the baseline comparison and return the E6 result."""
@@ -70,40 +94,15 @@ def run(
         title="E6: mean messages to elect a leader, by algorithm and ring size",
         columns=["algorithm", "n", "messages_mean", "messages_ci95", "messages_per_node"],
     )
+    study = build_study(sizes=sizes, trials=trials, base_seed=base_seed)
+    per_point = run_study(study, pool=pool, workers=workers, adaptive=adaptive)
+
     per_algorithm_means: Dict[str, List[float]] = {}
-
-    # The paper's algorithm.
-    abe_means = []
-    for n in sizes:
-        results = election_trials(
-            n, trials, base_seed, label=f"abe-n{n}", workers=workers, adaptive=adaptive
-        )
-        elected = [float(r.messages_total) for r in results if r.elected]
-        interval = confidence_interval(elected)
-        abe_means.append(interval.estimate)
-        table.add_row(
-            algorithm="abe-election",
-            n=n,
-            messages_mean=interval.estimate,
-            messages_ci95=interval.half_width,
-            messages_per_node=interval.estimate / n,
-        )
-    per_algorithm_means["abe-election"] = abe_means
-
-    # The baselines.
-    delay = ExponentialDelay(mean=1.0)
-    for name, runner in _baseline_runners().items():
+    for index, name in enumerate(ALGORITHM_ORDER):
         means = []
-        for n in sizes:
-            outcomes = monte_carlo(
-                lambda seed: runner(n, delay=delay, seed=seed),
-                trials=trials,
-                base_seed=base_seed,
-                label=f"{name}-n{n}",
-                workers=workers,
-                adaptive=adaptive,
-            )
-            message_counts = [float(o.messages_total) for o in outcomes if o.elected]
+        for offset, n in enumerate(sizes):
+            results = per_point[index * len(sizes) + offset]
+            message_counts = [float(r.messages_total) for r in results if r.elected]
             interval = confidence_interval(message_counts)
             means.append(interval.estimate)
             table.add_row(

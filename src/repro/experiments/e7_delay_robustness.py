@@ -18,10 +18,14 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.core.analysis import recommended_a0
+from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
 from repro.experiments.runner import AdaptiveStopping
-from repro.experiments.workloads import delay_families_with_mean, election_trials
+from repro.experiments.workloads import delay_family_specs, election_spec
 from repro.models.base import classify_delay
+from repro.scenarios.registry import build_delay
+from repro.scenarios.runtime import run_study
+from repro.scenarios.spec import StudySpec
 from repro.stats.confidence import confidence_interval
 
 EXPERIMENT_ID = "e7"
@@ -31,7 +35,48 @@ CLAIM = (
     "delta, not on the particular delay distribution producing it."
 )
 
-__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "build_study", "run"]
+
+
+def _family_catalogue(
+    mean_delay: float, families: Optional[Sequence[str]]
+) -> Dict[str, object]:
+    catalogue = delay_family_specs(mean_delay)
+    if families is not None:
+        unknown = set(families) - set(catalogue)
+        if unknown:
+            raise ValueError(f"unknown delay families {sorted(unknown)}")
+        catalogue = {name: catalogue[name] for name in families}
+    return catalogue
+
+
+def build_study(
+    n: int = 32,
+    mean_delay: float = 1.0,
+    trials: int = 20,
+    base_seed: int = 77,
+    families: Optional[Sequence[str]] = None,
+) -> StudySpec:
+    """The E7 battery: the same ring under every delay family of equal mean."""
+    catalogue = _family_catalogue(mean_delay, families)
+    a0 = recommended_a0(n)
+    return StudySpec(
+        name=EXPERIMENT_ID,
+        title=TITLE,
+        metric="messages_total",
+        points=tuple(
+            election_spec(
+                n,
+                trials,
+                base_seed,
+                a0=a0,
+                delay=node,
+                label=f"family-{name}",
+                expected_delay_bound=max(build_delay(node).mean(), mean_delay),
+            )
+            for name, node in catalogue.items()
+        ),
+    )
 
 
 def run(
@@ -41,17 +86,12 @@ def run(
     base_seed: int = 77,
     families: Optional[Sequence[str]] = None,
     workers: int = 1,
+    pool: SweepPool = None,
     adaptive: Optional[AdaptiveStopping] = None,
 ) -> ExperimentResult:
     """Run the delay-robustness comparison and return the E7 result."""
     if adaptive is not None:
         adaptive = adaptive.resolved("messages_total")
-    catalogue = delay_families_with_mean(mean_delay)
-    if families is not None:
-        unknown = set(families) - set(catalogue)
-        if unknown:
-            raise ValueError(f"unknown delay families {sorted(unknown)}")
-        catalogue = {name: catalogue[name] for name in families}
 
     table = ResultTable(
         title=f"E7: election cost on a ring of n={n} under different delay families",
@@ -68,19 +108,13 @@ def run(
     )
     message_means: Dict[str, float] = {}
     time_means: Dict[str, float] = {}
-    a0 = recommended_a0(n)
-    for name, delay in catalogue.items():
-        results = election_trials(
-            n,
-            trials,
-            base_seed,
-            a0=a0,
-            delay=delay,
-            label=f"family-{name}",
-            workers=workers,
-            adaptive=adaptive,
-            expected_delay_bound=max(delay.mean(), mean_delay),
-        )
+    study = build_study(
+        n=n, mean_delay=mean_delay, trials=trials, base_seed=base_seed, families=families
+    )
+    per_family = run_study(study, pool=pool, workers=workers, adaptive=adaptive)
+    for point, results in zip(study.points, per_family):
+        name = point.label[len("family-"):]
+        delay = build_delay(point.delay)
         elected = [r for r in results if r.elected]
         messages = confidence_interval([float(r.messages_total) for r in elected])
         times = confidence_interval(

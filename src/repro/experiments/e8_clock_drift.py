@@ -17,9 +17,12 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from repro.core.analysis import recommended_a0
+from repro.experiments.parallel import SweepPool
 from repro.experiments.results import ExperimentResult, ResultTable
 from repro.experiments.runner import AdaptiveStopping
-from repro.experiments.workloads import election_trials
+from repro.experiments.workloads import election_spec
+from repro.scenarios.runtime import run_study
+from repro.scenarios.spec import SpecNode, StudySpec
 from repro.sim.clock import RandomWalkDrift
 from repro.stats.confidence import confidence_interval
 
@@ -65,12 +68,48 @@ def _batch_ticks_active(bounds: Tuple[float, float]) -> bool:
     return all(node.program.tick_driver is not None for node in network.nodes)
 
 
+def build_study(
+    n: int = 32,
+    clock_bounds: Sequence[Tuple[float, float]] = DEFAULT_BOUNDS,
+    trials: int = 20,
+    base_seed: int = 88,
+) -> StudySpec:
+    """The E8 battery: the same ring under increasingly loose clock bounds.
+
+    Each point carries a ``random-walk`` drift node; the runtime builds one
+    fresh :class:`~repro.sim.clock.RandomWalkDrift` per node, exactly like
+    the per-uid factory closures this module used to hand-write.
+    """
+    a0 = recommended_a0(n)
+    points = []
+    for s_low, s_high in clock_bounds:
+        drift_step = 0.0 if s_low == s_high else (s_high - s_low) / 10.0
+        points.append(
+            election_spec(
+                n,
+                trials,
+                base_seed,
+                a0=a0,
+                label=f"drift-{s_low}-{s_high}",
+                clock_bounds=(s_low, s_high),
+                drift=SpecNode(
+                    "random-walk",
+                    {"initial_rate": (s_low + s_high) / 2.0, "step": drift_step},
+                ),
+            )
+        )
+    return StudySpec(
+        name=EXPERIMENT_ID, title=TITLE, metric="messages_total", points=tuple(points)
+    )
+
+
 def run(
     n: int = 32,
     clock_bounds: Sequence[Tuple[float, float]] = DEFAULT_BOUNDS,
     trials: int = 20,
     base_seed: int = 88,
     workers: int = 1,
+    pool: SweepPool = None,
     adaptive: Optional[AdaptiveStopping] = None,
 ) -> ExperimentResult:
     """Run the clock-drift sweep and return the E8 result."""
@@ -90,29 +129,13 @@ def run(
             "unique_leader_always",
         ],
     )
-    a0 = recommended_a0(n)
     baseline_messages = None
     baseline_time = None
     worst_message_factor = 1.0
     worst_time_factor = 1.0
-    for s_low, s_high in clock_bounds:
-        drift_step = 0.0 if s_low == s_high else (s_high - s_low) / 10.0
-
-        def drift_factory(uid: int, low=s_low, high=s_high, step=drift_step):
-            initial = (low + high) / 2.0
-            return RandomWalkDrift(initial_rate=initial, step=step)
-
-        results = election_trials(
-            n,
-            trials,
-            base_seed,
-            a0=a0,
-            label=f"drift-{s_low}-{s_high}",
-            workers=workers,
-            adaptive=adaptive,
-            clock_bounds=(s_low, s_high),
-            clock_drift_factory=drift_factory,
-        )
+    study = build_study(n=n, clock_bounds=clock_bounds, trials=trials, base_seed=base_seed)
+    per_bounds = run_study(study, pool=pool, workers=workers, adaptive=adaptive)
+    for (s_low, s_high), results in zip(clock_bounds, per_bounds):
         elected = [r for r in results if r.elected]
         messages = confidence_interval([float(r.messages_total) for r in elected])
         times = confidence_interval(

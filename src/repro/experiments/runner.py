@@ -35,7 +35,9 @@ __all__ = [
     "adaptive_monte_carlo",
     "adaptive_parameters",
     "add_adaptive_stopping_arguments",
+    "add_execution_arguments",
     "adaptive_stopping_from_args",
+    "execution_from_args",
     "trial_seeds",
     "monte_carlo",
     "mean_of_attribute",
@@ -221,6 +223,43 @@ def add_adaptive_stopping_arguments(parser: Any) -> None:
             "fixed trial count)"
         ),
     )
+
+
+def add_execution_arguments(parser: Any, workers_default: Optional[int] = None) -> None:
+    """Install the shared execution flags: ``--workers`` plus the adaptive trio.
+
+    The one wiring point for every trial-running entry point (``abe-repro
+    experiment``, ``abe-repro scenario`` and
+    ``scripts/run_all_experiments.py``), so their execution flags cannot
+    drift apart.
+    """
+    from repro.experiments.parallel import worker_count_argument  # late: avoids cycle
+
+    parser.add_argument(
+        "--workers",
+        type=worker_count_argument,
+        default=workers_default,
+        help=(
+            "worker processes for Monte-Carlo trials (default 1 = serial; "
+            "0 = one per CPU; results are identical for any value)"
+        ),
+    )
+    add_adaptive_stopping_arguments(parser)
+
+
+def execution_from_args(args: Any) -> tuple:
+    """The parsed execution flags: ``(workers or None, adaptive rule or None)``.
+
+    ``workers`` comes back resolved (``0`` -> one per CPU) or ``None`` when
+    the flag was not given, so callers can distinguish "default" from an
+    explicit choice.
+    """
+    from repro.experiments.parallel import resolve_worker_count  # late: avoids cycle
+
+    workers = None
+    if getattr(args, "workers", None) is not None:
+        workers = resolve_worker_count(args.workers)
+    return workers, adaptive_stopping_from_args(args)
 
 
 def adaptive_stopping_from_args(args: Any) -> Optional[AdaptiveStopping]:

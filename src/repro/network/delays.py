@@ -428,6 +428,22 @@ class HyperExponentialDelay(DelayDistribution):
         index = min(index, len(self.means) - 1)
         return rng.expovariate(1.0 / self.means[index])
 
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def sample_array(self, gen: Any, count: int):
+        import numpy as np
+
+        # One fixed-width row of uniforms per element (component choice, then
+        # an inverse-CDF exponential), so the vectorized stream is independent
+        # of how block refills are chunked.
+        u = gen.random((count, 2))
+        index = np.minimum(
+            np.searchsorted(self._cumulative, u[:, 0], side="left"),
+            len(self.means) - 1,
+        )
+        return -np.asarray(self.means)[index] * np.log1p(-u[:, 1])
+
     def mean(self) -> float:
         return sum(p * m for p, m in zip(self.probabilities, self.means))
 
@@ -463,6 +479,29 @@ class MixtureDelay(DelayDistribution):
         index = bisect.bisect_left(self._cumulative, u)
         index = min(index, len(self.components) - 1)
         return self.components[index][1].sample(rng)
+
+    def supports_vectorized(self) -> bool:
+        return all(dist.supports_vectorized() for _, dist in self.components)
+
+    def sample_array(self, gen: Any, count: int):
+        import numpy as np
+
+        # Multi-pass refill (one choice pass, then one draw pass per
+        # component in declaration order): deterministic per seed, but the
+        # stream depends on the refill chunking -- compare vectorized runs of
+        # mixtures at one ``batch_block_size``.
+        u = gen.random(count)
+        index = np.minimum(
+            np.searchsorted(self._cumulative, u, side="left"),
+            len(self.components) - 1,
+        )
+        out = np.empty(count)
+        for position, (_, dist) in enumerate(self.components):
+            mask = index == position
+            picked = int(mask.sum())
+            if picked:
+                out[mask] = dist.sample_array(gen, picked)
+        return out
 
     def mean(self) -> float:
         total = 0.0
@@ -512,6 +551,27 @@ class TruncatedDelay(DelayDistribution):
                 return value
         return self.cap
 
+    def supports_vectorized(self) -> bool:
+        return self.inner.supports_vectorized()
+
+    def sample_array(self, gen: Any, count: int):
+        import numpy as np
+
+        out = np.asarray(self.inner.sample_array(gen, count), dtype=float)
+        # Per-element rejection rounds mirroring the scalar loop: every
+        # element gets up to max_rejects inner draws before the cap applies.
+        # The rounds make the refill multi-pass, so the vectorized stream
+        # depends on the refill chunking (deterministic per seed; compare
+        # runs at one ``batch_block_size``).
+        for _ in range(self.max_rejects - 1):
+            over = out > self.cap
+            pending = int(over.sum())
+            if not pending:
+                return out
+            out[over] = self.inner.sample_array(gen, pending)
+        np.minimum(out, self.cap, out=out)
+        return out
+
     def mean(self) -> float:
         return min(self.inner.mean(), self.cap)
 
@@ -541,6 +601,15 @@ class EmpiricalDelay(DelayDistribution):
 
     def sample(self, rng: random.Random) -> float:
         return rng.choice(self.observations)
+
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def sample_array(self, gen: Any, count: int):
+        import numpy as np
+
+        observations = np.asarray(self.observations)
+        return observations[gen.integers(0, len(observations), count)]
 
     def mean(self) -> float:
         return self._mean

@@ -96,11 +96,14 @@ class NetworkConfig:
     batch_block_size:
         Delays prefetched per full-size sampler refill when ``batch_sampling``
         is on; refills grow geometrically up to this size.  The served delay
-        stream is independent of the block size except for one corner:
+        stream is independent of the block size except for two corners
+        (still deterministic per seed; compare such runs at one block size):
         exact-mode (non-vectorized) samplers combined with
         ``processing_delay``, where both consume the same channel rng and the
-        refill chunking changes their interleaving (still deterministic per
-        seed; compare such runs at one block size).
+        refill chunking changes their interleaving; and vectorized composite
+        distributions whose refill makes several passes over the block
+        (mixtures, truncation, dynamic routing), where the chunking changes
+        how the passes interleave on the sampler's generator.
     """
 
     topology: Topology

@@ -70,6 +70,12 @@ class MM1SojournDelay(DelayDistribution):
     def sample(self, rng: random.Random) -> float:
         return rng.expovariate(self.service_rate - self.arrival_rate)
 
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def sample_array(self, gen, count: int):
+        return gen.exponential(1.0 / (self.service_rate - self.arrival_rate), count)
+
     def mean(self) -> float:
         return mm1_mean_sojourn(self.arrival_rate, self.service_rate)
 

@@ -107,6 +107,19 @@ class GeometricRetransmissionDelay(DelayDistribution):
         u = max(u, 1e-300)
         return int(math.ceil(math.log(u) / math.log(1.0 - p)))
 
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def sample_array(self, gen, count: int):
+        import numpy as np
+
+        if self.success_probability >= 1.0:
+            return np.full(count, self.transmission_time)
+        # Same inverse-CDF transform (and u == 0 guard) as the scalar path.
+        u = np.maximum(gen.random(count), 1e-300)
+        transmissions = np.ceil(np.log(u) / math.log(1.0 - self.success_probability))
+        return transmissions * self.transmission_time
+
     def mean(self) -> float:
         return self.transmission_time / self.success_probability
 

@@ -86,6 +86,28 @@ class DynamicRoutingDelay(DelayDistribution):
         hops = self.sample_hops(rng)
         return sum(self.per_hop_delay.sample(rng) for _ in range(hops))
 
+    def supports_vectorized(self) -> bool:
+        return self.per_hop_delay.supports_vectorized()
+
+    def sample_array(self, gen, count: int):
+        import numpy as np
+
+        # Multi-pass refill (hop counts, then all per-hop draws): the
+        # vectorized stream is deterministic per seed but depends on the
+        # refill chunking -- compare runs at one ``batch_block_size``.
+        hops = np.full(count, self.base_hops, dtype=np.int64)
+        if self.detour_probability > 0.0:
+            # Extra hops are the Bernoulli(q) successes before the first
+            # failure: Geometric(1 - q) - 1, capped like the scalar loop.
+            extras = gen.geometric(1.0 - self.detour_probability, count) - 1
+            hops += np.minimum(extras, self.max_extra_hops)
+        draws = np.asarray(
+            self.per_hop_delay.sample_array(gen, int(hops.sum())), dtype=float
+        )
+        offsets = np.zeros(count, dtype=np.int64)
+        np.cumsum(hops[:-1], out=offsets[1:])
+        return np.add.reduceat(draws, offsets)
+
     def expected_hops(self) -> float:
         """Expected path length: ``base_hops + q / (1 - q)`` for detour prob q."""
         q = self.detour_probability

@@ -39,14 +39,18 @@ once per block).  Refills grow geometrically from a small first block up to
 of delays per channel) never pays for delays it will not use, while a long
 sweep converges to full-size refills.  Both refill modes draw values strictly
 in sequence, so the served stream is independent of how it is chunked -- in
-vectorized mode unconditionally (the numpy generator is exclusive to the
-sampler), and in exact mode whenever the channel's ``random.Random`` is
-consumed only by the sampler.  The exception is an exact-mode sampler whose
-rng is *shared* with another consumer (``processing_delay`` draws on the
-same channel stream): there the chunk boundaries determine how the two
-consumers interleave on the stream, so results depend on the block schedule
--- deterministic per seed, but only comparable between runs with identical
-``batch_block_size``.  The numpy generator is created lazily at the first
+vectorized mode whenever the distribution fills a block in a single
+element-order pass (every simple distribution does; the numpy generator is
+exclusive to the sampler), and in exact mode whenever the channel's
+``random.Random`` is consumed only by the sampler.  Two exceptions depend on
+the block schedule (deterministic per seed, but only comparable between runs
+with identical ``batch_block_size``): an exact-mode sampler whose rng is
+*shared* with another consumer (``processing_delay`` draws on the same
+channel stream), where the chunk boundaries determine how the two consumers
+interleave; and a vectorized *composite* distribution whose refill makes
+several passes over the block (``MixtureDelay``, ``TruncatedDelay``,
+``DynamicRoutingDelay``), where the chunk boundaries determine how the
+passes interleave on the generator.  The numpy generator is created lazily at the first
 refill, so channels that never transmit do not pay its construction;
 laziness is stream-invariant because the seed is the first draw from the
 channel's otherwise untouched ``random.Random``.

@@ -1,0 +1,255 @@
+"""String-keyed registries resolving spec ``kind``\\ s to factories.
+
+Four registries cover everything a :class:`~repro.scenarios.spec.ScenarioSpec`
+references by name:
+
+* :data:`TOPOLOGIES` -- every builder in :mod:`repro.network.topology`;
+* :data:`DELAYS` -- every delay family in :mod:`repro.network.delays`,
+  :mod:`repro.network.queueing`, :mod:`repro.network.retransmission` and
+  :mod:`repro.network.routing`, plus the ``per-link`` composite for
+  heterogeneous links;
+* :data:`DRIFTS` -- the clock-drift models of :mod:`repro.sim.clock`;
+* :data:`SCHEDULES` -- the activation schedules of
+  :mod:`repro.core.activation`.
+
+Workload runners register separately in
+:mod:`repro.scenarios.algorithms` (:data:`~repro.scenarios.algorithms.ALGORITHMS`).
+
+Extension point: third-party code calls ``TOPOLOGIES.register("my-shape",
+builder)`` (and likewise for the other registries) before compiling a spec;
+the JSON schema then accepts the new kind everywhere.  Unknown kinds fail
+with the sorted list of known keys -- a typo in a spec file names its
+candidates instead of raising a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.core.activation import ActivationSchedule, AdaptiveActivation, ConstantActivation
+from repro.network import topology as topo
+from repro.network.delays import (
+    ConstantDelay,
+    DelayDistribution,
+    EmpiricalDelay,
+    ErlangDelay,
+    ExponentialDelay,
+    HyperExponentialDelay,
+    LogNormalDelay,
+    MixtureDelay,
+    ParetoDelay,
+    ShiftedExponentialDelay,
+    TruncatedDelay,
+    UniformDelay,
+    WeibullDelay,
+)
+from repro.network.queueing import MM1SojournDelay
+from repro.network.retransmission import GeometricRetransmissionDelay
+from repro.network.routing import DynamicRoutingDelay
+from repro.scenarios.spec import SpecNode
+from repro.sim.clock import ConstantRateDrift, RandomWalkDrift, SinusoidalDrift
+
+__all__ = [
+    "Registry",
+    "TOPOLOGIES",
+    "DELAYS",
+    "DRIFTS",
+    "SCHEDULES",
+    "build_topology",
+    "build_delay",
+    "build_schedule",
+    "PerLinkDelay",
+    "DriftFactory",
+]
+
+
+class Registry:
+    """A named string-keyed factory table with self-describing errors."""
+
+    def __init__(self, noun: str, plural: Optional[str] = None) -> None:
+        self.noun = noun
+        self.plural = plural if plural is not None else noun + "s"
+        self._entries: Dict[str, Callable[..., Any]] = {}
+
+    def register(self, key: str, factory: Callable[..., Any]) -> None:
+        """Register ``factory`` under ``key``; duplicate keys are rejected."""
+        if not key or not isinstance(key, str):
+            raise ValueError(f"{self.noun} key must be a non-empty string, got {key!r}")
+        if key in self._entries:
+            raise ValueError(f"duplicate {self.noun} key {key!r}")
+        self._entries[key] = factory
+
+    def get(self, key: str) -> Callable[..., Any]:
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.noun} {key!r}; known {self.plural}: {self.known()}"
+            ) from None
+
+    def known(self) -> List[str]:
+        """The sorted registered keys (for error messages and docs)."""
+        return sorted(self._entries)
+
+    def build(self, node: SpecNode) -> Any:
+        """Resolve ``node.kind`` and call the factory with ``node.params``.
+
+        Wrong parameter names surface as a readable error naming the kind
+        rather than a bare ``TypeError`` from deep inside a constructor.
+        """
+        factory = self.get(node.kind)
+        try:
+            return factory(**node.params)
+        except TypeError as error:
+            raise ValueError(
+                f"bad parameters for {self.noun} {node.kind!r}: {error}"
+            ) from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+# ------------------------------------------------------------------ topologies
+
+TOPOLOGIES = Registry("topology", "topologies")
+TOPOLOGIES.register("uniring", topo.unidirectional_ring)
+TOPOLOGIES.register("biring", topo.bidirectional_ring)
+TOPOLOGIES.register("line", topo.line_topology)
+TOPOLOGIES.register("star", topo.star_topology)
+TOPOLOGIES.register("complete", topo.complete_graph)
+TOPOLOGIES.register("tree", topo.tree_topology)
+TOPOLOGIES.register("grid", topo.grid_topology)
+TOPOLOGIES.register("random-connected", topo.random_connected)
+
+
+def build_topology(node: SpecNode) -> topo.Topology:
+    """Build the topology a spec names."""
+    return TOPOLOGIES.build(node)
+
+
+# ---------------------------------------------------------------- delay models
+
+
+class PerLinkDelay:
+    """Heterogeneous per-link delays: one model per channel, cycled in order.
+
+    Compiles the ``per-link`` delay kind into the delay *factory* protocol of
+    :class:`~repro.network.network.NetworkConfig` (``(channel_id, source,
+    destination) -> model``): channel ``i`` gets ``models[i % len(models)]``.
+    ``mean()`` reports the worst component mean, which is exactly the bound
+    ``delta`` the ABE model needs, so model validation works unchanged.
+    """
+
+    def __init__(self, models: List[DelayDistribution]) -> None:
+        if not models:
+            raise ValueError("per-link delay needs at least one component model")
+        self.models = list(models)
+
+    def __call__(self, channel_id: int, source: int, destination: int) -> DelayDistribution:
+        return self.models[channel_id % len(self.models)]
+
+    def mean(self) -> float:
+        return max(model.mean() for model in self.models)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerLinkDelay({self.models!r})"
+
+
+def _build_nested_delay(data: Any) -> DelayDistribution:
+    node = data if isinstance(data, SpecNode) else SpecNode.from_dict(data)
+    return DELAYS.build(node)
+
+
+def _mixture_delay(components: Any) -> MixtureDelay:
+    built = []
+    for entry in components:
+        if isinstance(entry, Mapping):
+            weight, inner = entry["weight"], entry["delay"]
+        else:
+            weight, inner = entry
+        built.append((float(weight), _build_nested_delay(inner)))
+    return MixtureDelay(built)
+
+
+def _truncated_delay(inner: Any, cap: float, max_rejects: int = 1000) -> TruncatedDelay:
+    return TruncatedDelay(_build_nested_delay(inner), cap=cap, max_rejects=max_rejects)
+
+
+def _routing_delay(per_hop: Optional[Any] = None, **params: Any) -> DynamicRoutingDelay:
+    if per_hop is not None:
+        params["per_hop_delay"] = _build_nested_delay(per_hop)
+    return DynamicRoutingDelay(**params)
+
+
+def _per_link_delay(delays: Any) -> PerLinkDelay:
+    return PerLinkDelay([_build_nested_delay(entry) for entry in delays])
+
+
+DELAYS = Registry("delay model")
+DELAYS.register("constant", ConstantDelay)
+DELAYS.register("uniform", UniformDelay)
+DELAYS.register("exponential", ExponentialDelay)
+DELAYS.register("shifted-exponential", ShiftedExponentialDelay)
+DELAYS.register("erlang", ErlangDelay)
+DELAYS.register("pareto", ParetoDelay)
+DELAYS.register("lognormal", LogNormalDelay)
+DELAYS.register("weibull", WeibullDelay)
+DELAYS.register("hyperexponential", HyperExponentialDelay)
+DELAYS.register("empirical", EmpiricalDelay)
+DELAYS.register("mm1", MM1SojournDelay)
+DELAYS.register("retransmission", GeometricRetransmissionDelay)
+DELAYS.register("routing", _routing_delay)
+DELAYS.register("mixture", _mixture_delay)
+DELAYS.register("truncated", _truncated_delay)
+DELAYS.register("per-link", _per_link_delay)
+
+
+def build_delay(node: Optional[SpecNode]) -> Optional[Any]:
+    """Build the delay model (or per-link factory) a spec names."""
+    if node is None:
+        return None
+    return DELAYS.build(node)
+
+
+# ---------------------------------------------------------------------- clocks
+
+DRIFTS = Registry("drift model")
+DRIFTS.register("constant-rate", ConstantRateDrift)
+DRIFTS.register("random-walk", RandomWalkDrift)
+DRIFTS.register("sinusoidal", SinusoidalDrift)
+
+
+class DriftFactory:
+    """Picklable ``uid -> ClockDriftModel`` factory from one drift node.
+
+    Drift models are stateful (the random walk carries its current rate), so
+    every node needs a *fresh* instance; the factory rebuilds from the node's
+    ``kind``/``params`` on every call, matching the per-uid closures the
+    experiments used to hand-write.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: SpecNode) -> None:
+        DRIFTS.get(node.kind)  # fail fast on unknown kinds
+        self.node = node
+
+    def __call__(self, uid: int) -> Any:
+        return DRIFTS.build(self.node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DriftFactory({self.node!r})"
+
+
+# ------------------------------------------------------------------- schedules
+
+SCHEDULES = Registry("activation schedule")
+SCHEDULES.register("adaptive", AdaptiveActivation)
+SCHEDULES.register("constant", ConstantActivation)
+
+
+def build_schedule(node: Optional[SpecNode]) -> Optional[ActivationSchedule]:
+    """Build the activation schedule a spec names (``None`` passes through)."""
+    if node is None:
+        return None
+    return SCHEDULES.build(node)

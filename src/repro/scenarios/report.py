@@ -1,0 +1,108 @@
+"""Plain-text rendering of scenario runs (the ``abe-repro scenario`` output).
+
+Scenario results are heterogeneous (election results, wave results, battery
+rows, measurement tuples), so the renderer is generic: dataclass results
+become per-trial table rows plus aggregate statistics over their numeric
+fields; battery rows (lists of dicts) render as one table; anything else
+falls back to ``repr``.  The fixed-width layout is shared with the
+experiment reports (:mod:`repro.experiments.reporting`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Sequence
+
+from repro.experiments.reporting import format_cell, format_table
+from repro.experiments.results import ResultTable
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["scenario_table", "render_scenario"]
+
+#: Cap on per-trial rows printed; aggregates always cover every trial.
+MAX_ROWS = 20
+
+
+def _result_rows(results: Sequence[Any]) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for result in results:
+        if dataclasses.is_dataclass(result) and not isinstance(result, type):
+            rows.append(dataclasses.asdict(result))
+        elif isinstance(result, dict):
+            rows.append(dict(result))
+        elif isinstance(result, (list, tuple)):
+            rows.append({f"value_{i}": value for i, value in enumerate(result)})
+        else:
+            rows.append({"result": repr(result)})
+    return rows
+
+
+def scenario_table(spec: ScenarioSpec, results: Sequence[Any]) -> ResultTable:
+    """Per-trial rows of one scenario run as a :class:`ResultTable`."""
+    flat: List[Any] = []
+    for result in results:
+        # One-shot batteries return a list of rows per evaluation.
+        if isinstance(result, list):
+            flat.extend(result)
+        else:
+            flat.append(result)
+    rows = _result_rows(flat)
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    table = ResultTable(
+        title=f"scenario: {spec.algorithm} on {spec.topology.kind}", columns=columns
+    )
+    for row in rows[:MAX_ROWS]:
+        table.add_row(**row)
+    if len(rows) > MAX_ROWS:
+        table.add_note(f"{len(rows) - MAX_ROWS} further row(s) omitted")
+    return table
+
+
+#: Identifier-like columns excluded from the aggregate statistics -- a mean
+#: over derived 64-bit seeds or anonymous node uids is noise, not a metric.
+_IDENTIFIER_COLUMNS = frozenset({"seed", "leader_uid", "node_uid", "uid"})
+
+
+def _aggregates(rows: List[Dict[str, Any]]) -> List[str]:
+    lines: List[str] = []
+    if len(rows) < 2:
+        return lines
+    for key in rows[0]:
+        if key in _IDENTIFIER_COLUMNS:
+            continue
+        values = [row.get(key) for row in rows]
+        numeric = [float(v) for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+        if len(numeric) == len(values) and numeric:
+            mean = sum(numeric) / len(numeric)
+            lines.append(
+                f"  {key}: mean={format_cell(mean)} "
+                f"min={format_cell(min(numeric))} max={format_cell(max(numeric))}"
+            )
+        elif all(isinstance(v, bool) for v in values):
+            lines.append(f"  {key}: {sum(values)}/{len(values)} true")
+    return lines
+
+
+def render_scenario(spec: ScenarioSpec, results: Sequence[Any]) -> str:
+    """Full plain-text report of one scenario run."""
+    lines = [
+        f"== scenario: {spec.algorithm} ==",
+        f"topology : {spec.topology.kind} {spec.topology.params or ''}".rstrip(),
+        f"trials   : {len(results)} (seed {spec.seed})",
+        "",
+    ]
+    table = scenario_table(spec, results)
+    lines.append(format_table(table))
+    rows = _result_rows(
+        [row for result in results for row in (result if isinstance(result, list) else [result])]
+    )
+    aggregates = _aggregates(rows)
+    if aggregates:
+        lines.append("")
+        lines.append("aggregates over all trials:")
+        lines.extend(aggregates)
+    return "\n".join(lines)

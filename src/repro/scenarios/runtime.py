@@ -1,0 +1,141 @@
+"""The single entry point from declarative specs to running simulations.
+
+:func:`run_scenario` compiles one :class:`~repro.scenarios.spec.ScenarioSpec`
+into the existing fast-path machinery
+(:func:`repro.core.runner.run_election`, :func:`~repro.experiments.runner.monte_carlo`,
+:class:`~repro.experiments.parallel.SweepPool`) and returns the trial
+results.  The compiled trial, the derived seed list and the adaptive batch
+boundaries are exactly the ones the hand-threaded experiment code produced,
+so a spec that mirrors an experiment's parameters reproduces its results bit
+for bit -- locked by the pre-refactor goldens in ``tests/harness``.
+
+:func:`run_study` executes a :class:`~repro.scenarios.spec.StudySpec` -- an
+ordered battery of points -- sharing one worker pool across the whole
+battery.  One-shot batteries (each point a single deterministic evaluation,
+e.g. E4/E5) fan the *points* across the pool; Monte-Carlo batteries fan each
+point's *trials*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.scenarios.algorithms import ALGORITHMS, AlgorithmEntry
+from repro.scenarios.spec import ScenarioSpec, StudySpec
+
+# NOTE: ``repro.experiments`` imports this module, so the experiment-harness
+# pieces (monte_carlo, SweepPool, AdaptiveStopping) are imported lazily
+# inside the entry points to keep the import graph acyclic.
+
+__all__ = ["compile_trial", "run_scenario", "run_study"]
+
+
+def compile_trial(spec: ScenarioSpec) -> Any:
+    """Compile a spec into its picklable ``seed -> result`` trial callable.
+
+    Resolution against the registries happens here, so unknown algorithm,
+    topology, delay, drift or schedule kinds fail fast with the list of known
+    keys, before any simulation starts.
+    """
+    entry: AlgorithmEntry = ALGORITHMS.get(spec.algorithm)
+    return entry.build_trial(spec)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    pool: Optional[Any] = None,
+    workers: Optional[int] = None,
+    adaptive: Optional[Any] = None,
+    stats_out: Optional[Dict[str, Any]] = None,
+) -> List[Any]:
+    """Run one scenario and return its (ordered) trial results.
+
+    Parameters
+    ----------
+    pool:
+        Optional shared :class:`~repro.experiments.parallel.SweepPool`; one
+        pool can serve every point of a study.  Results are bit-identical for
+        any pool/worker combination.
+    workers:
+        Worker processes when no pool is given (``None`` = the spec's
+        ``workers`` field; ``0`` = one per CPU).
+    adaptive:
+        Overrides the spec's ``stopping`` rule; an unpinned metric resolves
+        to the algorithm's default target.
+    stats_out:
+        Receives ``trials_executed``/``stopped_early`` under adaptive
+        stopping.
+    """
+    from repro.experiments.runner import monte_carlo  # late: avoids cycle
+
+    entry: AlgorithmEntry = ALGORITHMS.get(spec.algorithm)
+    run_one = entry.build_trial(spec)
+    if entry.one_shot:
+        if spec.trials != 1:
+            raise ValueError(
+                f"algorithm {spec.algorithm!r} is a one-shot evaluation; "
+                f"use one point per parameter value instead of trials={spec.trials}"
+            )
+        return [run_one(spec.seed)]
+    rule = adaptive if adaptive is not None else spec.stopping
+    if rule is not None:
+        rule = rule.resolved(entry.metric)
+    if pool is not None:
+        return pool.monte_carlo(
+            run_one,
+            trials=spec.trials,
+            base_seed=spec.seed,
+            label=spec.label,
+            adaptive=rule,
+            stats_out=stats_out,
+        )
+    worker_count: Optional[int] = spec.workers if workers is None else workers
+    if worker_count == 0:
+        worker_count = None  # monte_carlo's "one per CPU" convention
+    return monte_carlo(
+        run_one,
+        trials=spec.trials,
+        base_seed=spec.seed,
+        label=spec.label,
+        workers=worker_count,
+        adaptive=rule,
+        stats_out=stats_out,
+    )
+
+
+def _run_one_shot(spec: ScenarioSpec) -> Any:
+    """Top-level point runner (must be picklable for pool fan-out)."""
+    entry: AlgorithmEntry = ALGORITHMS.get(spec.algorithm)
+    return entry.build_trial(spec)(spec.seed)
+
+
+def run_study(
+    study: StudySpec,
+    *,
+    pool: Optional[Any] = None,
+    workers: Optional[int] = 1,
+    adaptive: Optional[Any] = None,
+) -> List[List[Any]]:
+    """Run every point of a study; per-point result lists in point order.
+
+    One :class:`~repro.experiments.parallel.SweepPool` (the caller's, or a
+    fresh one sized by ``workers``) serves the whole battery, so pool startup
+    is paid once per study rather than once per point.  ``adaptive``
+    resolves its metric against the study's declared target.
+    """
+    from repro.experiments.parallel import SweepPool  # late: avoids cycle
+
+    rule = adaptive
+    if rule is not None:
+        rule = rule.resolved(study.metric)
+    points = list(study.points)
+    entries = [ALGORITHMS.get(point.algorithm) for point in points]
+    with SweepPool.ensure(pool, workers) as shared:
+        if all(entry.one_shot for entry in entries):
+            # One deterministic evaluation per point: fan the points
+            # themselves across the pool (the E4/E5 shape).
+            return [[result] for result in shared.map(_run_one_shot, points)]
+        return [
+            run_scenario(point, pool=shared, adaptive=rule) for point in points
+        ]
