@@ -21,6 +21,7 @@ import time
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.parallel import SweepPool
 from repro.experiments.reporting import render_experiment
+from repro.experiments.resilience import active_policy
 from repro.experiments.runner import add_execution_arguments, execution_from_args
 
 
@@ -34,14 +35,16 @@ def main() -> int:
     )
     add_execution_arguments(parser, workers_default=1)
     args = parser.parse_args()
-    workers, adaptive = execution_from_args(args)
+    workers, adaptive, policy = execution_from_args(args)
     workers = workers if workers is not None else 1
 
     sections = []
     total_started = time.time()
     # One worker pool serves every experiment that can share it (e1-e3, e5):
     # pool startup is paid once for the whole report, not once per sweep point.
-    with SweepPool(workers) as pool:
+    # The execution policy (timeouts/retries/checkpoint) is ambient for the
+    # whole report run, so every experiment inherits it without a signature.
+    with active_policy(policy), SweepPool(workers) as pool:
         for experiment_id in sorted(ALL_EXPERIMENTS):
             module = ALL_EXPERIMENTS[experiment_id]
             kwargs = {}
@@ -67,6 +70,12 @@ def main() -> int:
             sections.append(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
             print(f"  done in {elapsed:.1f}s", flush=True)
     total_elapsed = time.time() - total_started
+    if policy is not None and policy.failures:
+        print(
+            f"warning: {len(policy.failures)} trial(s) recorded as structured "
+            "failures (see ExecutionPolicy.failures)",
+            flush=True,
+        )
     report = "\n".join(sections)
     with open(args.output_path, "w", encoding="utf-8") as handle:
         handle.write(report)

@@ -193,11 +193,17 @@ def run_ring_election(
     max_events: Optional[int] = None,
     max_time: Optional[float] = None,
     topology: Optional[Topology] = None,
+    on_budget: str = "stop",
 ) -> RingElectionResult:
     """Run a baseline leader election on a ring and collect cost metrics.
 
-    See :func:`build_ring_election` for the parameters.
+    See :func:`build_ring_election` for the parameters.  ``on_budget="raise"``
+    arms the divergence watchdog: exhausting ``max_events``/``max_time``
+    without electing raises :class:`~repro.sim.engine.SimulationDiverged`
+    instead of returning a truncated result.
     """
+    if on_budget not in ("stop", "raise"):
+        raise ValueError(f"on_budget must be 'stop' or 'raise', got {on_budget!r}")
     network, tally = build_ring_election(
         program_factory,
         n,
@@ -212,7 +218,9 @@ def run_ring_election(
     )
     if max_events is None:
         max_events = 500_000 + 50_000 * n
-    network.run(until=max_time, max_events=max_events)
+    network.run(
+        until=max_time, max_events=max_events, raise_on_limit=(on_budget == "raise")
+    )
     return RingElectionResult(
         algorithm=algorithm_name,
         n=n,

@@ -76,6 +76,7 @@ def run_chang_roberts(
     seed: int = 0,
     batch_sampling: bool = True,
     max_events: Optional[int] = None,
+    on_budget: str = "stop",
 ) -> RingElectionResult:
     """Run Chang-Roberts on a unidirectional ring of size ``n``."""
     return run_ring_election(
@@ -88,4 +89,5 @@ def run_chang_roberts(
         batch_sampling=batch_sampling,
         with_identifiers=True,
         max_events=max_events,
+        on_budget=on_budget,
     )

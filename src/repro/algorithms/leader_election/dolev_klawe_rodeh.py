@@ -99,6 +99,7 @@ def run_dolev_klawe_rodeh(
     seed: int = 0,
     batch_sampling: bool = True,
     max_events: Optional[int] = None,
+    on_budget: str = "stop",
 ) -> RingElectionResult:
     """Run Dolev-Klawe-Rodeh on a unidirectional FIFO ring of size ``n``."""
     return run_ring_election(
@@ -112,4 +113,5 @@ def run_dolev_klawe_rodeh(
         fifo=True,
         with_identifiers=True,
         max_events=max_events,
+        on_budget=on_budget,
     )

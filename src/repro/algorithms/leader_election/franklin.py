@@ -129,6 +129,7 @@ def run_franklin(
     seed: int = 0,
     batch_sampling: bool = True,
     max_events: Optional[int] = None,
+    on_budget: str = "stop",
 ) -> RingElectionResult:
     """Run Franklin's algorithm on a bidirectional FIFO ring of size ``n``."""
     return run_ring_election(
@@ -142,4 +143,5 @@ def run_franklin(
         fifo=True,
         with_identifiers=True,
         max_events=max_events,
+        on_budget=on_budget,
     )

@@ -162,6 +162,7 @@ def run_itai_rodeh(
     identity_space: Optional[int] = None,
     batch_sampling: bool = True,
     max_events: Optional[int] = None,
+    on_budget: str = "stop",
 ) -> RingElectionResult:
     """Run Itai-Rodeh on an anonymous unidirectional ring of size ``n``."""
     return run_ring_election(
@@ -174,4 +175,5 @@ def run_itai_rodeh(
         batch_sampling=batch_sampling,
         with_identifiers=False,
         max_events=max_events,
+        on_budget=on_budget,
     )

@@ -30,9 +30,28 @@ from repro.core.analysis import recommended_a0
 from repro.core.runner import run_election
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.reporting import render_experiment
+from repro.experiments.resilience import active_policy
 from repro.experiments.runner import add_execution_arguments, execution_from_args
 
 __all__ = ["main", "build_parser"]
+
+
+def _report_failures(policy) -> None:
+    """Print the policy's structured trial-failure log to stderr."""
+    if policy is None or not policy.failures:
+        return
+    print(
+        f"warning: {len(policy.failures)} trial(s) failed and were recorded "
+        "as structured failures:",
+        file=sys.stderr,
+    )
+    for failure in policy.failures:
+        where = failure.seed if failure.seed is not None else failure.item
+        print(
+            f"  - trial {where}: {failure.kind} after {failure.attempts} "
+            f"attempt(s): {failure.error_type}: {failure.message}",
+            file=sys.stderr,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,7 +137,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         kwargs["trials"] = args.trials
     if args.seed is not None and "base_seed" in supported:
         kwargs["base_seed"] = args.seed
-    workers, adaptive = execution_from_args(args)
+    workers, adaptive, policy = execution_from_args(args)
     if workers is not None and "workers" in supported:
         kwargs["workers"] = workers
     if adaptive is not None:
@@ -129,8 +148,10 @@ def _command_experiment(args: argparse.Namespace) -> int:
             )
         else:
             kwargs["adaptive"] = adaptive
-    result = module.run(**kwargs)
+    with active_policy(policy):
+        result = module.run(**kwargs)
     print(render_experiment(result))
+    _report_failures(policy)
     return 0
 
 
@@ -148,7 +169,7 @@ def _command_scenario(args: argparse.Namespace) -> int:
         spec = load_spec(args.spec_path)
     except (OSError, ValueError) as error:
         raise SystemExit(str(error)) from None
-    workers, adaptive = execution_from_args(args)
+    workers, adaptive, policy = execution_from_args(args)
 
     def adjust(point):
         if args.trials is not None and point.algorithm in ALGORITHMS:
@@ -161,26 +182,30 @@ def _command_scenario(args: argparse.Namespace) -> int:
         return point
 
     try:
-        if isinstance(spec, StudySpec):
-            study = StudySpec(
-                name=spec.name,
-                title=spec.title,
-                metric=spec.metric,
-                points=tuple(adjust(point) for point in spec.points),
-            )
-            per_point = run_study(
-                study, workers=workers if workers is not None else 1, adaptive=adaptive
-            )
-            print(f"== study: {study.name} ==")
-            for point, results in zip(study.points, per_point):
-                print()
+        with active_policy(policy):
+            if isinstance(spec, StudySpec):
+                study = StudySpec(
+                    name=spec.name,
+                    title=spec.title,
+                    metric=spec.metric,
+                    points=tuple(adjust(point) for point in spec.points),
+                )
+                per_point = run_study(
+                    study,
+                    workers=workers if workers is not None else 1,
+                    adaptive=adaptive,
+                )
+                print(f"== study: {study.name} ==")
+                for point, results in zip(study.points, per_point):
+                    print()
+                    print(render_scenario(point, results))
+            else:
+                point = adjust(spec)
+                results = run_scenario(point, workers=workers, adaptive=adaptive)
                 print(render_scenario(point, results))
-        else:
-            point = adjust(spec)
-            results = run_scenario(point, workers=workers, adaptive=adaptive)
-            print(render_scenario(point, results))
     except ValueError as error:
         raise SystemExit(str(error)) from None
+    _report_failures(policy)
     return 0
 
 

@@ -210,12 +210,25 @@ def run_election_on_network(
     max_events: Optional[int] = None,
     max_time: Optional[float] = None,
     a0: float = 0.3,
+    on_budget: str = "stop",
 ) -> ElectionResult:
-    """Run an already-built election network to completion (or to its limits)."""
+    """Run an already-built election network to completion (or to its limits).
+
+    ``on_budget`` chooses what budget exhaustion means: ``"stop"`` (default)
+    truncates and returns a result with ``elected=False``, preserving the
+    historical semantics; ``"raise"`` arms the divergence watchdog so a run
+    that exhausts ``max_events``/``max_time`` without deciding raises
+    :class:`~repro.sim.engine.SimulationDiverged` -- a decided election never
+    raises, whatever the budgets.
+    """
+    if on_budget not in ("stop", "raise"):
+        raise ValueError(f"on_budget must be 'stop' or 'raise', got {on_budget!r}")
     if max_events is None:
         max_events = _default_max_events(network.n)
     network.stop_when(lambda: status.decided)
-    network.run(until=max_time, max_events=max_events)
+    network.run(
+        until=max_time, max_events=max_events, raise_on_limit=(on_budget == "raise")
+    )
     return ElectionResult(
         n=network.n,
         elected=status.decided,
@@ -253,6 +266,7 @@ def run_election(
     batch_ticks: bool = True,
     max_events: Optional[int] = None,
     max_time: Optional[float] = None,
+    on_budget: str = "stop",
 ) -> ElectionResult:
     """Elect a leader on an anonymous unidirectional ABE ring of size ``n``.
 
@@ -288,5 +302,10 @@ def run_election(
         batch_ticks=batch_ticks,
     )
     return run_election_on_network(
-        network, status, max_events=max_events, max_time=max_time, a0=a0
+        network,
+        status,
+        max_events=max_events,
+        max_time=max_time,
+        a0=a0,
+        on_budget=on_budget,
     )

@@ -35,6 +35,13 @@ from repro.experiments.runner import (
 )
 from repro.experiments.parallel import ParallelTrialRunner, SweepPool, parallel_map
 from repro.experiments.reporting import format_table, render_experiment
+from repro.experiments.resilience import (
+    CheckpointJournal,
+    ExecutionPolicy,
+    TrialFailure,
+    active_policy,
+    spec_fingerprint,
+)
 from repro.experiments import (
     e1_message_complexity,
     e2_time_complexity,
@@ -73,5 +80,10 @@ __all__ = [
     "parallel_map",
     "format_table",
     "render_experiment",
+    "CheckpointJournal",
+    "ExecutionPolicy",
+    "TrialFailure",
+    "active_policy",
+    "spec_fingerprint",
     "ALL_EXPERIMENTS",
 ]

@@ -18,6 +18,17 @@ address space and only the (picklable) seeds and results cross the process
 boundary.  Where ``fork`` is unavailable (e.g. Windows), the runner degrades
 to in-process execution rather than imposing a picklability requirement on
 every experiment.
+
+All pool fan-outs funnel through
+:func:`repro.experiments.resilience.supervised_map` over a rebuildable
+:class:`~repro.experiments.resilience.ForkPoolManager`: without an active
+:class:`~repro.experiments.resilience.ExecutionPolicy` that is the historical
+chunked ordered gather (bit-identical results) plus interrupt-safe teardown
+-- ``KeyboardInterrupt`` terminates and joins the workers instead of leaking
+orphaned forks -- and with a policy it adds per-trial timeouts, retries and
+pool rebuilding.  The Monte-Carlo entry points additionally consult the
+policy's :class:`~repro.experiments.resilience.CheckpointJournal` so resumed
+studies skip completed ``(fingerprint, seed)`` trials.
 """
 
 from __future__ import annotations
@@ -27,6 +38,14 @@ import multiprocessing
 import os
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, List, Optional, Sequence, TypeVar
+
+from repro.experiments.resilience import (
+    ForkPoolManager,
+    checkpointed_trials,
+    resolve_checkpoint,
+    run_trial,
+    supervised_map,
+)
 
 __all__ = [
     "ParallelTrialRunner",
@@ -93,6 +112,8 @@ def _adaptive_via(
     keep: Optional[Callable[[Any], bool]],
     adaptive: Any,
     stats_out: Optional[dict] = None,
+    checkpoint: Optional[Any] = None,
+    checkpoint_key: Optional[str] = None,
 ) -> List[Any]:
     """The one adaptive-dispatch forwarding point for every pool flavour."""
     from repro.experiments.runner import adaptive_monte_carlo  # late: avoids cycle
@@ -106,6 +127,8 @@ def _adaptive_via(
         keep=keep,
         mapper=mapper,
         stats_out=stats_out,
+        checkpoint=checkpoint,
+        checkpoint_key=checkpoint_key,
     )
 
 
@@ -147,17 +170,28 @@ class ParallelTrialRunner:
         """Apply ``fn`` to every item, in input order, possibly in parallel."""
         items = list(items)
         if self.workers == 1 or len(items) <= 1 or not fork_available():
-            return [fn(item) for item in items]
+            # Serial fallback honours the same retry/failure contract as the
+            # pool (run_trial is fn(item) verbatim without a policy).
+            return [run_trial(fn, item) for item in items]
         global _WORKER_FN
         context = multiprocessing.get_context("fork")
         processes = min(self.workers, len(items))
-        chunk = self.chunk_size or max(1, len(items) // (processes * 4))
         previous = _WORKER_FN
         _WORKER_FN = fn
+        # _WORKER_FN stays published for the whole map so a supervised pool
+        # rebuild forks workers that inherit the same callable.
+        pools = ForkPoolManager(lambda: context.Pool(processes=processes))
         try:
-            with context.Pool(processes=processes) as pool:
-                return pool.map(_invoke, items, chunksize=chunk)
+            return supervised_map(
+                fn,
+                items,
+                task=_invoke,
+                pools=pools,
+                workers=processes,
+                chunk_size=self.chunk_size,
+            )
         finally:
+            pools.shutdown()
             _WORKER_FN = previous
 
     @contextmanager
@@ -184,7 +218,8 @@ class ParallelTrialRunner:
         previous = _WORKER_FN
         _WORKER_FN = fn
         context = multiprocessing.get_context("fork")
-        pool = context.Pool(processes=self.workers)
+        pools = ForkPoolManager(lambda: context.Pool(processes=self.workers))
+        pools.get()
         try:
 
             def mapper(mapped_fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
@@ -193,16 +228,20 @@ class ParallelTrialRunner:
                         "persistent_mapper serves exactly the callable its "
                         "workers inherited at fork time"
                     )
-                items = list(items)
-                if not items:
-                    return []
-                chunk = self.chunk_size or max(1, len(items) // (self.workers * 4))
-                return pool.map(_invoke, items, chunksize=chunk)
+                # _WORKER_FN is still published here (restored only on block
+                # exit), so supervised rebuilds re-fork with fn inherited.
+                return supervised_map(
+                    fn,
+                    list(items),
+                    task=_invoke,
+                    pools=pools,
+                    workers=self.workers,
+                    chunk_size=self.chunk_size,
+                )
 
             yield mapper
         finally:
-            pool.terminate()
-            pool.join()
+            pools.shutdown()
             _WORKER_FN = previous
 
     # ------------------------------------------------------------ monte carlo
@@ -216,6 +255,8 @@ class ParallelTrialRunner:
         keep: Optional[Callable[[T], bool]] = None,
         adaptive: Optional[Any] = None,
         stats_out: Optional[dict] = None,
+        checkpoint: Optional[Any] = None,
+        checkpoint_key: Optional[str] = None,
     ) -> List[T]:
         """Parallel equivalent of :func:`repro.experiments.runner.monte_carlo`.
 
@@ -226,16 +267,37 @@ class ParallelTrialRunner:
         :class:`~repro.experiments.runner.AdaptiveStopping`) dispatches whole
         batches to one long-lived fork pool (:meth:`persistent_mapper`, not a
         fresh pool per batch) and stops at batch boundaries -- the stopping
-        point is worker-count independent.
+        point is worker-count independent.  ``checkpoint`` (an explicit
+        :class:`~repro.experiments.resilience.CheckpointJournal`, or the
+        ambient policy's) skips already-journaled ``(key, seed)`` trials and
+        journals fresh ones in record batches.
         """
         from repro.experiments.runner import trial_seeds  # late: avoids cycle
 
         if adaptive is not None:
             with self.persistent_mapper(run_one) as mapper:
                 return _adaptive_via(
-                    mapper, run_one, trials, base_seed, label, keep, adaptive, stats_out
+                    mapper,
+                    run_one,
+                    trials,
+                    base_seed,
+                    label,
+                    keep,
+                    adaptive,
+                    stats_out,
+                    checkpoint,
+                    checkpoint_key,
                 )
-        outcomes = self.map(run_one, trial_seeds(base_seed, trials, label))
+        journal, key = resolve_checkpoint(
+            checkpoint, checkpoint_key, run_one, base_seed, label
+        )
+        outcomes = checkpointed_trials(
+            trial_seeds(base_seed, trials, label),
+            lambda block: self.map(run_one, block),
+            journal,
+            key,
+            record_batch=max(16, 4 * self.workers),
+        )
         if keep is None:
             return outcomes
         return [outcome for outcome in outcomes if keep(outcome)]
@@ -282,8 +344,16 @@ class SweepPool:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.workers = int(workers)
         self.chunk_size = chunk_size
-        self._pool = None
+        context = multiprocessing.get_context("fork") if fork_available() else None
+        self._pools = ForkPoolManager(
+            lambda: context.Pool(processes=self.workers)  # type: ignore[union-attr]
+        )
         self._closed = False
+
+    @property
+    def _pool(self):
+        """The underlying ``multiprocessing`` pool (``None`` until first use)."""
+        return self._pools.pool
 
     # -------------------------------------------------------------- lifecycle
 
@@ -317,10 +387,7 @@ class SweepPool:
         """Tear down the worker pool (idempotent); the object stays usable
         serially afterwards only for ``workers=1``."""
         self._closed = True
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        self._pools.shutdown()
 
     # ---------------------------------------------------------------- mapping
 
@@ -328,14 +395,16 @@ class SweepPool:
         """Apply ``fn`` to every item, in input order, on the shared pool."""
         items = list(items)
         if self.workers == 1 or len(items) <= 1 or not fork_available():
-            return [fn(item) for item in items]
+            return [run_trial(fn, item) for item in items]
         if self._closed:
             raise RuntimeError("SweepPool is closed")
-        if self._pool is None:
-            context = multiprocessing.get_context("fork")
-            self._pool = context.Pool(processes=self.workers)
-        chunk = self.chunk_size or max(1, len(items) // (self.workers * 4))
-        return self._pool.map(fn, items, chunksize=chunk)
+        return supervised_map(
+            fn,
+            items,
+            pools=self._pools,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+        )
 
     # ------------------------------------------------------------ monte carlo
 
@@ -348,6 +417,8 @@ class SweepPool:
         keep: Optional[Callable[[T], bool]] = None,
         adaptive: Optional[Any] = None,
         stats_out: Optional[dict] = None,
+        checkpoint: Optional[Any] = None,
+        checkpoint_key: Optional[str] = None,
     ) -> List[T]:
         """Pool-reusing equivalent of :func:`repro.experiments.runner.monte_carlo`.
 
@@ -356,15 +427,34 @@ class SweepPool:
         serial and :class:`ParallelTrialRunner` paths.  ``adaptive`` stops at
         worker-count-independent batch boundaries, exactly like the serial
         rule (see :class:`~repro.experiments.runner.AdaptiveStopping`); its
-        batches ride this pool's long-lived workers.
+        batches ride this pool's long-lived workers.  ``checkpoint`` skips
+        and journals ``(key, seed)`` trials exactly like the serial runner.
         """
         from repro.experiments.runner import trial_seeds  # late: avoids cycle
 
         if adaptive is not None:
             return _adaptive_via(
-                self.map, run_one, trials, base_seed, label, keep, adaptive, stats_out
+                self.map,
+                run_one,
+                trials,
+                base_seed,
+                label,
+                keep,
+                adaptive,
+                stats_out,
+                checkpoint,
+                checkpoint_key,
             )
-        outcomes = self.map(run_one, trial_seeds(base_seed, trials, label))
+        journal, key = resolve_checkpoint(
+            checkpoint, checkpoint_key, run_one, base_seed, label
+        )
+        outcomes = checkpointed_trials(
+            trial_seeds(base_seed, trials, label),
+            lambda block: self.map(run_one, block),
+            journal,
+            key,
+            record_batch=max(16, 4 * self.workers),
+        )
         if keep is None:
             return outcomes
         return [outcome for outcome in outcomes if keep(outcome)]

@@ -1,0 +1,835 @@
+"""Resilient trial execution: supervision, timeouts, retries, checkpointing.
+
+The ABE model is about making progress despite an adversarial network; this
+module is the same idea applied to the *execution layer*.  Monte-Carlo studies
+fan thousands of independent trials across ``fork`` workers, and three things
+can go wrong in practice:
+
+* a worker dies (OOM kill, segfault, operator ``kill -9``) and its in-flight
+  task silently never completes -- a blocking ``pool.map`` then hangs forever;
+* a trial itself diverges (a pathological scenario spec with heavy faults can
+  leave the election waiting on messages that were dropped) and occupies a
+  worker indefinitely;
+* the whole study process is killed at trial 900/1000 and a restart pays for
+  everything again.
+
+Three cooperating pieces answer these failure modes:
+
+:func:`supervised_map`
+    The one ordered fan-out primitive behind
+    :meth:`~repro.experiments.parallel.ParallelTrialRunner.map`,
+    :meth:`~repro.experiments.parallel.ParallelTrialRunner.persistent_mapper`
+    and :meth:`~repro.experiments.parallel.SweepPool.map`.  Without an active
+    :class:`ExecutionPolicy` it is behaviourally the old ``pool.map`` (chunked
+    dispatch, ordered gather, bit-identical results) except that it reacts to
+    ``KeyboardInterrupt`` by terminating and joining the worker processes
+    instead of leaking orphaned forks.  With a policy it dispatches trials
+    individually, bounds each wait by the per-trial wall-clock timeout,
+    rebuilds a broken pool with capped exponential backoff, re-runs only the
+    failed seeds (trials are pure functions of their seeds, so retries are
+    bit-identical), degrades to in-process serial execution when the pool
+    itself keeps failing without progress, and records structured
+    :class:`TrialFailure` entries instead of raising mid-study.
+
+:class:`CheckpointJournal`
+    An append-only JSONL journal keyed by ``(fingerprint, seed)`` with atomic
+    tmp+rename writes, consulted by every ``monte_carlo`` flavour through
+    :func:`checkpointed_trials`: a resumed study skips completed trials and
+    reproduces the aggregate results bit for bit, because the journal stores
+    the exact trial results (dataclasses round-trip field-for-field through
+    JSON) and the seed discipline makes the remaining trials independent of
+    the ones already done.
+
+:class:`ExecutionPolicy` / :func:`active_policy`
+    The ambient execution contract.  Entry points (``abe-repro experiment``,
+    ``abe-repro scenario``, ``scripts/run_all_experiments.py``) build one
+    policy from ``--trial-timeout``/``--retries``/``--checkpoint``/``--resume``
+    and install it for the duration of the run; the mapping and Monte-Carlo
+    layers consult :func:`current_policy` so no experiment module needed a
+    signature change to become resilient.
+
+The in-simulation counterpart -- the divergence watchdog that makes a
+pathological trial *fail fast inside the worker* instead of only via an
+external timeout -- is :class:`repro.sim.engine.SimulationDiverged`, raised by
+``Simulator.run(raise_on_limit=True)`` and reachable declaratively through the
+``on_budget="raise"`` field of a :class:`~repro.scenarios.spec.ScenarioSpec`.
+See ``docs/ROBUSTNESS.md`` for the full failure model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CheckpointJournal",
+    "ExecutionPolicy",
+    "ForkPoolManager",
+    "TrialFailure",
+    "active_policy",
+    "callable_fingerprint",
+    "checkpointed_trials",
+    "current_policy",
+    "decode_result",
+    "encode_result",
+    "resolve_checkpoint",
+    "run_trial",
+    "spec_fingerprint",
+    "supervised_map",
+]
+
+#: Sentinel for "no result yet" slots (None is a legal trial result).
+_MISSING = object()
+
+#: Crash-safety granularity when a journal is active and the caller does not
+#: pin one: results are recorded after every block of this many trials, so a
+#: killed study loses at most one block per point.
+DEFAULT_RECORD_BATCH = 16
+
+
+# =============================================================== trial failure
+
+
+@dataclass
+class TrialFailure:
+    """Structured record of one trial that could not produce a result.
+
+    Instances take the place of the missing result in the ordered result
+    list, so positional alignment with the seed list survives failures.
+    Every *metric* attribute reads as ``None`` (see ``__getattr__``), which is
+    the pre-existing "this run produced no value" convention -- adaptive
+    stopping skips them, ``mean_of_attribute`` excludes them, and ``keep``
+    filters written as ``lambda r: r.elected`` drop them.
+
+    Attributes
+    ----------
+    seed:
+        The trial seed (``None`` when the mapped item was not a seed).
+    item:
+        ``repr`` of the mapped item, for non-seed fan-outs.
+    attempts:
+        Executions consumed, including the first (``retries + 1`` when
+        exhausted).
+    kind:
+        ``"timeout"`` (per-trial wall clock exceeded / worker lost) or
+        ``"error"`` (the trial raised).
+    error_type / message:
+        The final exception's class name and text.
+    """
+
+    seed: Optional[int]
+    item: str
+    attempts: int
+    kind: str
+    error_type: str
+    message: str
+
+    def __getattr__(self, name: str) -> None:
+        # Metric/result attributes read as None; private/dunder lookups must
+        # fail normally or pickling and copying would break.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return None
+
+
+def _failure_from(item: Any, attempts: int, kind: str, error: BaseException) -> TrialFailure:
+    return TrialFailure(
+        seed=item if isinstance(item, int) else None,
+        item=repr(item),
+        attempts=attempts,
+        kind=kind,
+        error_type=type(error).__name__,
+        message=str(error),
+    )
+
+
+# ============================================================ execution policy
+
+
+@dataclass
+class ExecutionPolicy:
+    """How trial execution reacts to hangs, crashes and restarts.
+
+    Attributes
+    ----------
+    trial_timeout:
+        Per-trial wall-clock budget in seconds.  A trial whose result does not
+        arrive within the budget is charged a failed attempt, the worker pool
+        is rebuilt (the hung or dead worker cannot be recovered), and the seed
+        is re-run.  ``None`` disables timeout supervision.
+    retries:
+        Re-executions granted per trial after its first failure.  Retries are
+        bit-identical to first runs (trials are pure functions of their
+        seeds), so a retry after a worker OOM kill reproduces exactly the
+        result the lost worker would have returned.
+    backoff_base / backoff_cap:
+        Pool-rebuild backoff: rebuild ``k`` sleeps
+        ``min(backoff_cap, backoff_base * 2**(k-1))`` seconds first.
+    max_pool_rebuilds:
+        Consecutive *unproductive* pool failures (a dispatch round that
+        produced neither a result nor a charged attempt) tolerated before the
+        supervisor degrades to in-process serial execution for the remaining
+        trials.  Productive rounds -- even ones that time a trial out -- never
+        trigger degradation; this bound only catches a pool that cannot run
+        anything at all (e.g. ``fork`` itself failing repeatedly).
+    checkpoint:
+        Optional :class:`CheckpointJournal` consulted by every Monte-Carlo
+        flavour; completed ``(fingerprint, seed)`` trials are skipped and
+        fresh results are journaled as they complete.
+    failures:
+        Structured :class:`TrialFailure` log, appended to by the supervisor
+        (shared across every map the policy supervises).
+    """
+
+    trial_timeout: Optional[float] = None
+    retries: int = 0
+    backoff_base: float = 0.25
+    backoff_cap: float = 5.0
+    max_pool_rebuilds: int = 3
+    checkpoint: Optional["CheckpointJournal"] = None
+    failures: List[TrialFailure] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.trial_timeout is not None and self.trial_timeout <= 0:
+            raise ValueError(f"trial_timeout must be positive, got {self.trial_timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_base <= 0:
+            raise ValueError(f"backoff_base must be positive, got {self.backoff_base}")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}")
+
+    @property
+    def supervised(self) -> bool:
+        """Whether maps must take the per-trial supervision path."""
+        return self.trial_timeout is not None or self.retries > 0
+
+
+#: The ambient policy entry points install around a run (None = legacy
+#: behaviour: blocking gather, failures raise, no journal).
+_ACTIVE_POLICY: Optional[ExecutionPolicy] = None
+
+
+def current_policy() -> Optional[ExecutionPolicy]:
+    """The ambient :class:`ExecutionPolicy`, or ``None`` outside any."""
+    return _ACTIVE_POLICY
+
+
+@contextmanager
+def active_policy(policy: Optional[ExecutionPolicy]) -> Iterator[Optional[ExecutionPolicy]]:
+    """Install ``policy`` as the ambient execution policy for the block.
+
+    Forked workers inherit the installed policy, but all supervision happens
+    in the parent -- workers only ever run the plain trial callable.
+    ``active_policy(None)`` is a no-op block, which lets entry points wrap
+    their run unconditionally.
+    """
+    global _ACTIVE_POLICY
+    previous = _ACTIVE_POLICY
+    _ACTIVE_POLICY = policy
+    try:
+        yield policy
+    finally:
+        _ACTIVE_POLICY = previous
+
+
+# ================================================================ fingerprints
+
+
+def spec_fingerprint(spec: Any) -> str:
+    """Content-addressable key of a :class:`~repro.scenarios.spec.ScenarioSpec`.
+
+    The SHA-256 of the spec's canonical JSON form minus the two fields that
+    cannot change per-seed results: ``workers`` (execution is bit-identical
+    for any worker count) and ``stopping`` (adaptive rules choose *which*
+    derived seeds run, never what any seed produces).  Resuming a checkpointed
+    study with a different worker count or stopping rule therefore still hits
+    the journal.
+    """
+    data = spec.to_dict()
+    data.pop("workers", None)
+    data.pop("stopping", None)
+    # Overrides may carry live runtime objects (e.g. a delay-model instance);
+    # ``default=repr`` keeps the fingerprint total.  Dataclass reprs are
+    # stable across runs, so resume still works; anything with an
+    # address-bearing repr merely misses the journal (re-run, never wrong).
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def callable_fingerprint(run_one: Any, base_seed: int, label: str) -> Optional[str]:
+    """Journal key for a raw trial callable (no declarative spec available).
+
+    Hashes the pickled callable (configuration travels inside it -- e.g.
+    :class:`~repro.experiments.workloads.ElectionTrial` carries ring size,
+    ``a0`` and the delay model) together with the seed family.  Returns
+    ``None`` -- journaling is skipped, never wrong -- when the callable does
+    not pickle (fork-only closures).
+    """
+    try:
+        blob = pickle.dumps(run_one, protocol=4)
+    except Exception:
+        return None
+    digest = hashlib.sha256(blob)
+    digest.update(repr((base_seed, label)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+# ==================================================== result (de)serialization
+
+
+def encode_result(value: Any) -> Any:
+    """Encode one trial result as a JSON-able document.
+
+    Supports the closed set of shapes trial runners return: primitives,
+    lists, string-keyed dicts, tuples, and dataclasses of those (e.g.
+    :class:`~repro.core.runner.ElectionResult`).  Floats round-trip exactly
+    (JSON carries the shortest-repr form), which is what makes resumed
+    aggregates bit-identical.  Raises ``TypeError`` for anything else, which
+    callers treat as "this result is not journalable".
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            "__kind__": "dataclass",
+            "type": f"{cls.__module__}:{cls.__qualname__}",
+            "fields": {
+                f.name: encode_result(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, tuple):
+        return {"__kind__": "tuple", "items": [encode_result(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_result(item) for item in value]
+    if isinstance(value, dict):
+        if "__kind__" in value or not all(isinstance(key, str) for key in value):
+            raise TypeError(f"cannot journal dict with non-string or reserved keys: {value!r}")
+        return {key: encode_result(item) for key, item in value.items()}
+    raise TypeError(f"cannot journal result of type {type(value).__name__}")
+
+
+def decode_result(payload: Any) -> Any:
+    """Inverse of :func:`encode_result`."""
+    if isinstance(payload, list):
+        return [decode_result(item) for item in payload]
+    if isinstance(payload, dict):
+        kind = payload.get("__kind__")
+        if kind == "tuple":
+            return tuple(decode_result(item) for item in payload["items"])
+        if kind == "dataclass":
+            module_name, _, qualname = payload["type"].partition(":")
+            target: Any = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                target = getattr(target, part)
+            if not dataclasses.is_dataclass(target):
+                raise ValueError(f"journal names a non-dataclass type {payload['type']!r}")
+            fields = {key: decode_result(item) for key, item in payload["fields"].items()}
+            return target(**fields)
+        if kind is not None:
+            raise ValueError(f"unknown journal payload kind {kind!r}")
+        return {key: decode_result(item) for key, item in payload.items()}
+    return payload
+
+
+# =========================================================== checkpoint journal
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed trials, keyed by (key, seed).
+
+    One line per completed trial::
+
+        {"key": "<fingerprint>", "seed": 123, "result": {...}}
+
+    ``key`` is a :func:`spec_fingerprint` (declarative runs) or a
+    :func:`callable_fingerprint` (raw ``monte_carlo`` calls), so one journal
+    file can serve a whole study -- every point disambiguates itself.  Writes
+    are atomic (full content to ``<path>.tmp`` in the same directory, then
+    ``os.replace``), so the on-disk file is a complete, valid JSONL document
+    after every record and a crash can never leave a torn line behind.
+
+    Parameters
+    ----------
+    path:
+        Journal file location.
+    resume:
+        ``True`` loads previously completed trials (missing file = empty
+        journal); ``False`` starts a fresh journal, atomically replacing any
+        existing file.
+    """
+
+    def __init__(self, path: Any, resume: bool = False) -> None:
+        self.path = str(path)
+        self.resume = bool(resume)
+        self._entries: Dict[Tuple[str, int], Any] = {}
+        if self.resume:
+            self._load()
+        else:
+            self._flush()
+
+    # --------------------------------------------------------------- storage
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            self._flush()
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    seed = record["seed"]
+                    payload = record["result"]
+                except (ValueError, KeyError, TypeError):
+                    # A torn or foreign line: everything before it is intact
+                    # (writes are atomic whole-file replacements), so stop --
+                    # the affected trials simply re-run.
+                    break
+                self._entries[(str(key), int(seed))] = payload
+
+    def _flush(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for (key, seed), payload in self._entries.items():
+                handle.write(
+                    json.dumps(
+                        {"key": key, "seed": seed, "result": payload}, sort_keys=True
+                    )
+                    + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+
+    # ------------------------------------------------------------------- api
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key_seed: Tuple[str, int]) -> bool:
+        return (str(key_seed[0]), int(key_seed[1])) in self._entries
+
+    def lookup(self, key: str, seeds: Sequence[int]) -> Dict[int, Any]:
+        """Decoded results for the given seeds already completed under ``key``."""
+        found: Dict[int, Any] = {}
+        for seed in seeds:
+            payload = self._entries.get((key, seed))
+            if payload is not None:
+                found[seed] = decode_result(payload)
+        return found
+
+    def record(self, key: str, seed: int, result: Any) -> bool:
+        """Journal one completed trial; returns whether it was written."""
+        return self.record_many(key, [(seed, result)]) > 0
+
+    def record_many(self, key: str, pairs: Sequence[Tuple[int, Any]]) -> int:
+        """Journal a batch of ``(seed, result)`` pairs in one atomic write."""
+        written = 0
+        for seed, result in pairs:
+            if (key, seed) in self._entries:
+                continue
+            try:
+                payload = encode_result(result)
+            except TypeError:
+                continue  # unjournalable result: run it again next time
+            self._entries[(key, seed)] = payload
+            written += 1
+        if written:
+            self._flush()
+        return written
+
+
+def resolve_checkpoint(
+    checkpoint: Optional[CheckpointJournal],
+    checkpoint_key: Optional[str],
+    run_one: Any,
+    base_seed: int,
+    label: str,
+) -> Tuple[Optional[CheckpointJournal], Optional[str]]:
+    """The journal and key a Monte-Carlo call should use, or ``(None, None)``.
+
+    Explicit arguments win; otherwise the ambient policy's journal applies
+    with a :func:`callable_fingerprint` key.  Either piece missing disables
+    journaling for the call (never guesses a key).
+    """
+    journal = checkpoint
+    if journal is None:
+        policy = current_policy()
+        journal = policy.checkpoint if policy is not None else None
+    if journal is None:
+        return None, None
+    key = checkpoint_key
+    if key is None:
+        key = callable_fingerprint(run_one, base_seed, label)
+    if key is None:
+        return None, None
+    return journal, key
+
+
+def checkpointed_trials(
+    seeds: Sequence[Any],
+    execute: Callable[[Sequence[Any]], List[Any]],
+    journal: Optional[CheckpointJournal],
+    key: Optional[str],
+    record_batch: Optional[int] = None,
+) -> List[Any]:
+    """Run ``seeds`` through ``execute``, skipping and journaling via ``journal``.
+
+    The one checkpoint-consulting step shared by every Monte-Carlo flavour:
+    already-completed seeds come straight from the journal, only the missing
+    ones are executed (in blocks of ``record_batch``, journaled as each block
+    completes, so a killed run loses at most one block), and the returned
+    list is in the original seed order -- bit-identical to an uncheckpointed
+    run because trials are pure functions of their seeds.
+    :class:`TrialFailure` placeholders are returned but never journaled, so a
+    resumed run re-attempts them.
+    """
+    seeds = list(seeds)
+    if journal is None or key is None:
+        return execute(seeds) if seeds else []
+    cached = journal.lookup(key, seeds)
+    missing = [seed for seed in seeds if seed not in cached]
+    by_seed: Dict[Any, Any] = dict(cached)
+    if missing:
+        step = record_batch or DEFAULT_RECORD_BATCH
+        for start in range(0, len(missing), step):
+            block = missing[start : start + step]
+            fresh = execute(block)
+            pairs: List[Tuple[int, Any]] = []
+            for seed, result in zip(block, fresh):
+                by_seed[seed] = result
+                if not isinstance(result, TrialFailure):
+                    pairs.append((seed, result))
+            journal.record_many(key, pairs)
+    return [by_seed[seed] for seed in seeds]
+
+
+# ============================================================ pool supervision
+
+
+class ForkPoolManager:
+    """Owns one rebuildable ``multiprocessing`` pool.
+
+    The supervisor only ever talks to pools through this interface: ``get``
+    creates lazily, ``rebuild`` tears down (killing hung or half-dead workers)
+    and re-creates, ``shutdown`` terminates *and joins* so no orphaned fork
+    outlives the map that spawned it.
+    """
+
+    def __init__(self, factory: Callable[[], Any]) -> None:
+        self._factory = factory
+        self.pool: Optional[Any] = None
+
+    def get(self) -> Any:
+        if self.pool is None:
+            self.pool = self._factory()
+        return self.pool
+
+    def shutdown(self) -> None:
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def rebuild(self) -> Any:
+        self.shutdown()
+        return self.get()
+
+
+def _call_chunk(task: Callable[[Any], Any], block: List[Any]) -> List[Any]:
+    """Worker-side chunk runner (module-level: must be picklable)."""
+    return [task(item) for item in block]
+
+
+def _get_result(handle: Any, timeout: Optional[float]) -> Any:
+    """One waiting point for async results (tests monkeypatch this)."""
+    if timeout is None:
+        return handle.get()
+    return handle.get(timeout)
+
+
+def supervised_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    pools: ForkPoolManager,
+    workers: int,
+    chunk_size: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    task: Optional[Callable[[Any], Any]] = None,
+) -> List[Any]:
+    """Ordered parallel map over a rebuildable pool; the one fan-out primitive.
+
+    Parameters
+    ----------
+    fn:
+        The in-parent trial callable (used directly for degraded serial
+        execution).
+    task:
+        The picklable per-item callable shipped to workers; defaults to
+        ``fn``.  Fork-inheritance callers pass their module-level trampoline
+        here (the closure itself never crosses the process boundary).
+    pools:
+        The :class:`ForkPoolManager` owning the worker pool.  The caller
+        remains responsible for final ``shutdown()`` of long-lived pools;
+        this function shuts the pool down itself only on interrupt or
+        degradation.
+    policy:
+        Explicit :class:`ExecutionPolicy`; defaults to the ambient one.  With
+        no (supervising) policy the map is the historical chunked blocking
+        gather -- bit-identical results, plus interrupt-safe teardown.
+    """
+    items = list(items)
+    if not items:
+        return []
+    worker_task = task if task is not None else fn
+    if policy is None:
+        policy = current_policy()
+    if policy is None or not policy.supervised:
+        return _plain_pool_map(items, worker_task, pools, workers, chunk_size)
+    return _resilient_pool_map(fn, items, worker_task, pools, policy)
+
+
+def _plain_pool_map(
+    items: List[Any],
+    worker_task: Callable[[Any], Any],
+    pools: ForkPoolManager,
+    workers: int,
+    chunk_size: Optional[int],
+) -> List[Any]:
+    """The unsupervised path: chunked dispatch, ordered blocking gather.
+
+    Matches ``pool.map`` result-for-result (same chunking heuristic, same
+    input order) but gathers chunk by chunk, so a ``KeyboardInterrupt`` in
+    the parent can terminate and join the workers instead of leaking them.
+    A worker exception propagates unchanged and leaves the pool usable, like
+    ``pool.map`` always did.
+    """
+    chunk = chunk_size or max(1, len(items) // (workers * 4))
+    pool = pools.get()
+    handles = [
+        pool.apply_async(_call_chunk, (worker_task, items[start : start + chunk]))
+        for start in range(0, len(items), chunk)
+    ]
+    results: List[Any] = []
+    try:
+        for handle in handles:
+            results.extend(_get_result(handle, None))
+    except (KeyboardInterrupt, SystemExit):
+        # Reap the forks before propagating: Ctrl-C must not leave orphaned
+        # workers burning CPU behind a dead study.
+        pools.shutdown()
+        raise
+    return results
+
+
+def _try_rebuild(pools: ForkPoolManager) -> None:
+    """Rebuild, tolerating a factory that cannot create a pool right now.
+
+    A creation failure surfaces again at the next round's ``get()``, where it
+    is charged as an unproductive round -- so repeated failure still bounds
+    out into serial degradation instead of raising mid-study.
+    """
+    try:
+        pools.rebuild()
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception:
+        pools.pool = None
+
+
+def _sleep_backoff(policy: ExecutionPolicy, rebuild_number: int) -> None:
+    delay = min(policy.backoff_cap, policy.backoff_base * (2 ** max(0, rebuild_number - 1)))
+    time.sleep(delay)
+
+
+def _serial_attempts(
+    fn: Callable[[Any], Any],
+    item: Any,
+    attempts_so_far: int,
+    policy: ExecutionPolicy,
+) -> Any:
+    """Degraded-mode execution: in-process, retried, failure-capturing."""
+    attempts = attempts_so_far
+    while True:
+        attempts += 1
+        try:
+            return fn(item)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:
+            if attempts > policy.retries:
+                failure = _failure_from(item, attempts, "error", error)
+                policy.failures.append(failure)
+                return failure
+
+
+def run_trial(
+    fn: Callable[[Any], Any], item: Any, policy: Optional[ExecutionPolicy] = None
+) -> Any:
+    """Run one trial under the (ambient) policy's retry/failure contract.
+
+    The serial counterpart of :func:`supervised_map`: with no supervising
+    policy it is exactly ``fn(item)``; with one, exceptions are retried
+    bit-identically and an exhausted trial yields a :class:`TrialFailure`
+    instead of raising, so ``--retries`` means the same thing at
+    ``workers=1`` as on a pool.  (Wall-clock timeouts need a separate worker
+    process to kill and so apply only to pool execution.)
+    """
+    if policy is None:
+        policy = current_policy()
+    if policy is None or not policy.supervised:
+        return fn(item)
+    return _serial_attempts(fn, item, 0, policy)
+
+
+def _resilient_pool_map(
+    fn: Callable[[Any], Any],
+    items: List[Any],
+    worker_task: Callable[[Any], Any],
+    pools: ForkPoolManager,
+    policy: ExecutionPolicy,
+) -> List[Any]:
+    """The supervised path: per-trial dispatch, timeouts, retries, rebuilds.
+
+    Trials are dispatched individually (``apply_async``) and gathered in
+    order; each wait is bounded by ``policy.trial_timeout``.  A timeout means
+    the worker holding that trial is hung or dead, so the round harvests
+    whatever already finished, the pool is rebuilt (with capped exponential
+    backoff) and every unfinished trial is re-dispatched -- re-runs are
+    bit-identical because trials are pure functions of their seeds.  A trial
+    that keeps failing past ``policy.retries`` is replaced by a structured
+    :class:`TrialFailure` instead of raising, so one pathological seed cannot
+    take down a thousand-trial study.  Rounds that make no progress at all
+    count toward ``max_pool_rebuilds``; past it the remaining trials run
+    serially in the parent as a last resort.
+    """
+    count = len(items)
+    results: List[Any] = [_MISSING] * count
+    attempts = [0] * count
+    pending = list(range(count))
+    timeout = policy.trial_timeout
+    rebuilds = 0
+    unproductive = 0
+    degraded = False
+    while pending:
+        if degraded:
+            for index in pending:
+                results[index] = _serial_attempts(fn, items[index], attempts[index], policy)
+            pending = []
+            break
+        failed: List[Tuple[int, str, BaseException]] = []
+        still_pending: List[int] = []
+        broken = False
+        progressed = False
+        try:
+            pool = pools.get()
+            handles = [
+                (index, pool.apply_async(worker_task, (items[index],)))
+                for index in pending
+            ]
+        except (KeyboardInterrupt, SystemExit):
+            pools.shutdown()
+            raise
+        except Exception:
+            # The pool itself is unusable (fork failure, closed state, ...):
+            # an unproductive round by definition.
+            handles = []
+            still_pending = list(pending)
+            broken = True
+        try:
+            for index, handle in handles:
+                if broken:
+                    # The pool is already condemned; harvest only what is
+                    # provably finished, never wait on a doomed handle.
+                    if handle.ready():
+                        try:
+                            value = _get_result(handle, 0)
+                        except (KeyboardInterrupt, SystemExit):
+                            pools.shutdown()
+                            raise
+                        except multiprocessing.TimeoutError:
+                            still_pending.append(index)
+                            continue
+                        except Exception as error:
+                            attempts[index] += 1
+                            failed.append((index, "error", error))
+                            continue
+                        results[index] = value
+                        progressed = True
+                    else:
+                        still_pending.append(index)
+                    continue
+                try:
+                    value = _get_result(handle, timeout)
+                except (KeyboardInterrupt, SystemExit):
+                    pools.shutdown()
+                    raise
+                except multiprocessing.TimeoutError:
+                    attempts[index] += 1
+                    failed.append(
+                        (
+                            index,
+                            "timeout",
+                            TimeoutError(
+                                f"trial result did not arrive within {timeout}s "
+                                "(hung trial or lost worker)"
+                            ),
+                        )
+                    )
+                    broken = True
+                except Exception as error:
+                    attempts[index] += 1
+                    failed.append((index, "error", error))
+                else:
+                    results[index] = value
+                    progressed = True
+        except (KeyboardInterrupt, SystemExit):
+            pools.shutdown()
+            raise
+        for index, kind, error in failed:
+            progressed = True  # a charged attempt is progress toward termination
+            if attempts[index] > policy.retries:
+                failure = _failure_from(items[index], attempts[index], kind, error)
+                policy.failures.append(failure)
+                results[index] = failure
+            else:
+                still_pending.append(index)
+        pending = sorted(still_pending)
+        if broken and pending:
+            if not progressed:
+                unproductive += 1
+                if unproductive > policy.max_pool_rebuilds:
+                    pools.shutdown()
+                    degraded = True
+                    continue
+            else:
+                unproductive = 0
+            rebuilds += 1
+            _sleep_backoff(policy, rebuilds)
+            _try_rebuild(pools)
+        elif broken:
+            # Everything resolved despite the broken pool; replace it so the
+            # next map starts from a healthy state.
+            rebuilds += 1
+            _try_rebuild(pools)
+    return results

@@ -28,6 +28,13 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.experiments.parallel import ParallelTrialRunner, SweepPool
+from repro.experiments.resilience import (
+    CheckpointJournal,
+    ExecutionPolicy,
+    checkpointed_trials,
+    resolve_checkpoint,
+    run_trial,
+)
 from repro.sim.rng import derive_seed
 
 __all__ = [
@@ -38,6 +45,7 @@ __all__ = [
     "add_execution_arguments",
     "adaptive_stopping_from_args",
     "execution_from_args",
+    "execution_policy_from_args",
     "trial_seeds",
     "monte_carlo",
     "mean_of_attribute",
@@ -119,6 +127,8 @@ def adaptive_monte_carlo(
     keep: Optional[Callable[[T], bool]] = None,
     mapper: Optional[Callable[[Callable[[int], T], Sequence[int]], List[T]]] = None,
     stats_out: Optional[Dict[str, Any]] = None,
+    checkpoint: Optional[CheckpointJournal] = None,
+    checkpoint_key: Optional[str] = None,
 ) -> List[T]:
     """Run trials in batches until the CI on the target metric is tight enough.
 
@@ -126,7 +136,11 @@ def adaptive_monte_carlo(
     pass :meth:`SweepPool.map` or :meth:`ParallelTrialRunner.map` to fan the
     batch out -- results and the stopping point are bit-identical either
     way).  ``stats_out``, when given, receives ``trials_executed`` and
-    ``stopped_early`` for reporting.
+    ``stopped_early`` for reporting.  ``checkpoint`` (explicit or the ambient
+    policy's journal) is consulted per batch: completed seeds come from the
+    journal, fresh ones are journaled as each batch finishes -- and because
+    the stopping decision depends only on the (identical) per-seed results,
+    a resumed adaptive run converges at the same trial with the same output.
     """
     from repro.stats.confidence import relative_half_width  # scipy: import late
 
@@ -137,6 +151,14 @@ def adaptive_monte_carlo(
     min_trials = min(adaptive.min_trials, max_trials)
     metric = adaptive.metric
     seeds = trial_seeds(base_seed, max_trials, label)
+    journal, journal_key = resolve_checkpoint(
+        checkpoint, checkpoint_key, run_one, base_seed, label
+    )
+    execute = (
+        (lambda block: mapper(run_one, block))
+        if mapper is not None
+        else (lambda block: [run_trial(run_one, s) for s in block])
+    )
     kept: List[T] = []
     values: List[float] = []
     index = 0
@@ -144,7 +166,7 @@ def adaptive_monte_carlo(
     while index < max_trials and not converged:
         upper = min_trials if index < min_trials else min(index + adaptive.batch_size, max_trials)
         batch = seeds[index:upper]
-        outcomes = mapper(run_one, batch) if mapper is not None else [run_one(s) for s in batch]
+        outcomes = checkpointed_trials(batch, execute, journal, journal_key)
         index = upper
         for outcome in outcomes:
             if keep is not None and not keep(outcome):
@@ -226,7 +248,9 @@ def add_adaptive_stopping_arguments(parser: Any) -> None:
 
 
 def add_execution_arguments(parser: Any, workers_default: Optional[int] = None) -> None:
-    """Install the shared execution flags: ``--workers`` plus the adaptive trio.
+    """Install the shared execution flags: ``--workers``, the adaptive trio,
+    and the resilience quartet (``--trial-timeout``/``--retries``/
+    ``--checkpoint``/``--resume``).
 
     The one wiring point for every trial-running entry point (``abe-repro
     experiment``, ``abe-repro scenario`` and
@@ -245,21 +269,97 @@ def add_execution_arguments(parser: Any, workers_default: Optional[int] = None) 
         ),
     )
     add_adaptive_stopping_arguments(parser)
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-trial wall-clock budget; a trial whose worker hangs or dies "
+            "is re-run deterministically instead of stalling the study "
+            "(implies --retries 2 unless --retries is given)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "re-runs granted per failed trial before it is recorded as a "
+            "structured failure (retries are bit-identical: trials are pure "
+            "functions of their seeds)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "journal completed trials to this JSONL file (atomic writes) so "
+            "a killed study can be resumed with --resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from the --checkpoint journal: completed (fingerprint, "
+            "seed) trials are skipped and the aggregate output is "
+            "bit-identical to an uninterrupted run"
+        ),
+    )
 
 
 def execution_from_args(args: Any) -> tuple:
-    """The parsed execution flags: ``(workers or None, adaptive rule or None)``.
+    """The parsed execution flags:
+    ``(workers or None, adaptive rule or None, execution policy or None)``.
 
     ``workers`` comes back resolved (``0`` -> one per CPU) or ``None`` when
     the flag was not given, so callers can distinguish "default" from an
-    explicit choice.
+    explicit choice.  The policy (see :func:`execution_policy_from_args`) is
+    meant for :func:`repro.experiments.resilience.active_policy`.
     """
     from repro.experiments.parallel import resolve_worker_count  # late: avoids cycle
 
     workers = None
     if getattr(args, "workers", None) is not None:
         workers = resolve_worker_count(args.workers)
-    return workers, adaptive_stopping_from_args(args)
+    return workers, adaptive_stopping_from_args(args), execution_policy_from_args(args)
+
+
+def execution_policy_from_args(args: Any) -> Optional[ExecutionPolicy]:
+    """Build the :class:`~repro.experiments.resilience.ExecutionPolicy` from
+    parsed flags; ``None`` when no resilience flag was given.
+
+    ``--trial-timeout`` without an explicit ``--retries`` defaults to two
+    retries (a lost worker's trial should be re-run, not just recorded as
+    lost); ``--resume`` requires ``--checkpoint`` to name the journal.
+    Without ``--resume`` an existing checkpoint file is replaced by a fresh
+    journal.
+    """
+    timeout = getattr(args, "trial_timeout", None)
+    retries = getattr(args, "retries", None)
+    checkpoint_path = getattr(args, "checkpoint", None)
+    resume = bool(getattr(args, "resume", False))
+    if resume and checkpoint_path is None:
+        raise SystemExit("--resume requires --checkpoint (the journal to resume from)")
+    if timeout is None and retries is None and checkpoint_path is None:
+        return None
+    if retries is None:
+        retries = 2 if timeout is not None else 0
+    journal = (
+        CheckpointJournal(checkpoint_path, resume=resume)
+        if checkpoint_path is not None
+        else None
+    )
+    try:
+        return ExecutionPolicy(
+            trial_timeout=timeout, retries=retries, checkpoint=journal
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
 
 def adaptive_stopping_from_args(args: Any) -> Optional[AdaptiveStopping]:
@@ -303,6 +403,8 @@ def monte_carlo(
     pool: Optional[SweepPool] = None,
     adaptive: Optional[AdaptiveStopping] = None,
     stats_out: Optional[Dict[str, Any]] = None,
+    checkpoint: Optional[CheckpointJournal] = None,
+    checkpoint_key: Optional[str] = None,
 ) -> List[T]:
     """Run ``run_one(seed)`` for ``trials`` derived seeds and collect results.
 
@@ -331,6 +433,15 @@ def monte_carlo(
     stats_out:
         Optional dict receiving ``trials_executed``/``stopped_early`` when
         ``adaptive`` is used.
+    checkpoint / checkpoint_key:
+        Crash-safe resume: an explicit
+        :class:`~repro.experiments.resilience.CheckpointJournal` (or, when
+        ``None``, the ambient execution policy's journal) is consulted for
+        already-completed ``(checkpoint_key, seed)`` trials, and fresh
+        results are journaled as they complete.  The key defaults to a
+        fingerprint of the pickled ``run_one`` plus the seed family, so raw
+        callables checkpoint too; declarative runs pass their spec
+        fingerprint.  Results are bit-identical with or without a journal.
     """
     if adaptive is not None:
         if pool is not None:
@@ -342,6 +453,8 @@ def monte_carlo(
                 keep=keep,
                 adaptive=adaptive,
                 stats_out=stats_out,
+                checkpoint=checkpoint,
+                checkpoint_key=checkpoint_key,
             )
         if workers is not None and workers == 1:
             return adaptive_monte_carlo(
@@ -352,6 +465,8 @@ def monte_carlo(
                 label=label,
                 keep=keep,
                 stats_out=stats_out,
+                checkpoint=checkpoint,
+                checkpoint_key=checkpoint_key,
             )
         # workers > 1: one persistent fork pool for all convergence batches
         # (ParallelTrialRunner.monte_carlo uses persistent_mapper), not a
@@ -364,21 +479,42 @@ def monte_carlo(
             keep=keep,
             adaptive=adaptive,
             stats_out=stats_out,
+            checkpoint=checkpoint,
+            checkpoint_key=checkpoint_key,
         )
     if pool is not None:
         return pool.monte_carlo(
-            run_one, trials=trials, base_seed=base_seed, label=label, keep=keep
+            run_one,
+            trials=trials,
+            base_seed=base_seed,
+            label=label,
+            keep=keep,
+            checkpoint=checkpoint,
+            checkpoint_key=checkpoint_key,
         )
     if workers is not None and workers == 1:
-        results: List[T] = []
-        for seed in trial_seeds(base_seed, trials, label):
-            outcome = run_one(seed)
-            if keep is None or keep(outcome):
-                results.append(outcome)
-        return results
+        journal, key = resolve_checkpoint(
+            checkpoint, checkpoint_key, run_one, base_seed, label
+        )
+        outcomes = checkpointed_trials(
+            trial_seeds(base_seed, trials, label),
+            lambda block: [run_trial(run_one, seed) for seed in block],
+            journal,
+            key,
+            record_batch=1,  # serial: journal after every trial
+        )
+        if keep is None:
+            return outcomes
+        return [outcome for outcome in outcomes if keep(outcome)]
     runner = ParallelTrialRunner(workers=workers)
     return runner.monte_carlo(
-        run_one, trials=trials, base_seed=base_seed, label=label, keep=keep
+        run_one,
+        trials=trials,
+        base_seed=base_seed,
+        label=label,
+        keep=keep,
+        checkpoint=checkpoint,
+        checkpoint_key=checkpoint_key,
     )
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional, Set, Tuple
 
 from repro.network.channel import Channel
 from repro.network.network import Network
@@ -92,6 +92,12 @@ class FaultInjector:
     messages_dropped: int = 0
     deliveries_to_crashed: int = 0
     nodes_crashed: List[int] = field(default_factory=list)
+    _lossy_applied: Set[Tuple[MessageLossFault, int]] = field(
+        default_factory=set, init=False, repr=False
+    )
+    _crash_applied: Set[Tuple[int, float]] = field(
+        default_factory=set, init=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.rng is None:
@@ -106,11 +112,21 @@ class FaultInjector:
     # ------------------------------------------------------------------ loss
 
     def apply_message_loss(self, fault: MessageLossFault) -> int:
-        """Wrap matching channels so they drop messages; returns channels affected."""
+        """Wrap matching channels so they drop messages; returns channels affected.
+
+        Applying the *same* fault twice is a no-op per channel: the wrap is
+        recorded under ``(fault, channel)``, so a repeated ``apply`` (e.g. a
+        retried setup path) does not stack a second ``lossy_deliver`` layer
+        and silently compound the drop probability.
+        """
         affected = 0
         for channel in self.network.channels:
             if not fault.applies_to(channel):
                 continue
+            key = (fault, id(channel))
+            if key in self._lossy_applied:
+                continue
+            self._lossy_applied.add(key)
             self._wrap_channel(channel, fault.loss_probability)
             affected += 1
         return affected
@@ -138,15 +154,21 @@ class FaultInjector:
     # ----------------------------------------------------------------- crash
 
     def apply_crash(self, fault: CrashStopFault) -> None:
-        """Schedule a crash-stop for the given node."""
+        """Schedule a crash-stop for the given node (idempotent per fault)."""
         if not (0 <= fault.node_uid < self.network.n):
             raise ValueError(f"node {fault.node_uid} does not exist")
+        key = (fault.node_uid, fault.crash_time)
+        if key in self._crash_applied:
+            return
+        self._crash_applied.add(key)
         node = self.network.nodes[fault.node_uid]
         self.network.simulator.schedule_at(
             fault.crash_time, lambda: self._crash_now(node)
         )
 
     def _crash_now(self, node: Node) -> None:
+        if node.uid in self.nodes_crashed:
+            return
         self.nodes_crashed.append(node.uid)
         self.network.tracer.record(
             self.network.simulator.now, "crash", node.uid

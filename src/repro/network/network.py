@@ -272,11 +272,23 @@ class Network:
         )
 
     def run(
-        self, until: Optional[float] = None, max_events: Optional[int] = None
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        *,
+        raise_on_limit: bool = False,
     ) -> float:
-        """Start (if needed) and run the simulation; returns the stop time."""
+        """Start (if needed) and run the simulation; returns the stop time.
+
+        ``raise_on_limit`` arms the divergence watchdog: exhausting either
+        budget with live events pending raises
+        :class:`~repro.sim.engine.SimulationDiverged` (a run ended by a
+        satisfied :meth:`stop_when` predicate never raises).
+        """
         self.start()
-        return self.simulator.run(until=until, max_events=max_events)
+        return self.simulator.run(
+            until=until, max_events=max_events, raise_on_limit=raise_on_limit
+        )
 
     # ------------------------------------------------------------------ stats
 

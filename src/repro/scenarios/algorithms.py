@@ -158,7 +158,16 @@ class ElectionScenarioTrial:
     :class:`~repro.network.faults.FaultInjector`).
     """
 
-    __slots__ = ("n", "a0", "delay", "faults", "max_events", "max_time", "kwargs")
+    __slots__ = (
+        "n",
+        "a0",
+        "delay",
+        "faults",
+        "max_events",
+        "max_time",
+        "on_budget",
+        "kwargs",
+    )
 
     def __init__(self, spec: ScenarioSpec) -> None:
         self.n = _ring_size(spec)
@@ -168,6 +177,7 @@ class ElectionScenarioTrial:
         self.faults = _build_faults(spec.faults)
         self.max_events = spec.max_events
         self.max_time = spec.max_time
+        self.on_budget = spec.on_budget
         kwargs: Dict[str, Any] = dict(
             schedule=build_schedule(spec.schedule),
             clock_bounds=spec.clock_bounds,
@@ -204,6 +214,7 @@ class ElectionScenarioTrial:
                 seed=seed,
                 max_events=self.max_events,
                 max_time=self.max_time,
+                on_budget=self.on_budget,
                 **self.kwargs,
             )
         network, status = build_election_network(
@@ -212,7 +223,12 @@ class ElectionScenarioTrial:
         injector = FaultInjector(network)
         injector.apply(self.faults)
         return run_election_on_network(
-            network, status, max_events=self.max_events, max_time=self.max_time, a0=self.a0
+            network,
+            status,
+            max_events=self.max_events,
+            max_time=self.max_time,
+            a0=self.a0,
+            on_budget=self.on_budget,
         )
 
 
@@ -256,12 +272,21 @@ class BaselineScenarioTrial:
         # ring kinds and let the runner pick its direction.
         self.n = _ring_size(spec, kinds=("uniring", "biring"))
         _reject_unsupported(
-            spec, supported=("delay", "retransmission", "batch_sampling", "max_events")
+            spec,
+            supported=(
+                "delay",
+                "retransmission",
+                "batch_sampling",
+                "max_events",
+                "on_budget",
+            ),
         )
         self.delay = _spec_delay(spec)
         kwargs: Dict[str, Any] = dict(batch_sampling=spec.batch_sampling)
         if spec.max_events is not None:
             kwargs["max_events"] = spec.max_events
+        if spec.on_budget != "stop":
+            kwargs["on_budget"] = spec.on_budget
         kwargs.update(spec.params)
         self.kwargs = kwargs
 
@@ -331,6 +356,7 @@ class WaveScenarioTrial:
                 "batch_sampling",
                 "max_events",
                 "max_time",
+                "on_budget",
             ),
         )
         self.delay = _spec_delay(spec)
@@ -350,6 +376,7 @@ class WaveScenarioTrial:
             clock_drift_factory=DriftFactory(spec.drift) if spec.drift is not None else None,
             batch_sampling=spec.batch_sampling,
             max_time=spec.max_time,
+            on_budget=spec.on_budget,
         )
 
     def __call__(self, seed: int) -> WaveResult:
@@ -393,7 +420,11 @@ class WaveScenarioTrial:
         max_events = self.max_events
         if max_events is None:
             max_events = 200_000 + 20_000 * topology.n
-        network.run(until=fields["max_time"], max_events=max_events)
+        network.run(
+            until=fields["max_time"],
+            max_events=max_events,
+            raise_on_limit=(fields["on_budget"] == "raise"),
+        )
         if self.algorithm == "echo-wave":
             reached = sum(
                 1

@@ -48,6 +48,7 @@ def run_scenario(
     workers: Optional[int] = None,
     adaptive: Optional[Any] = None,
     stats_out: Optional[Dict[str, Any]] = None,
+    checkpoint: Optional[Any] = None,
 ) -> List[Any]:
     """Run one scenario and return its (ordered) trial results.
 
@@ -66,18 +67,27 @@ def run_scenario(
     stats_out:
         Receives ``trials_executed``/``stopped_early`` under adaptive
         stopping.
+    checkpoint:
+        Optional :class:`~repro.experiments.resilience.CheckpointJournal`
+        (defaults to the ambient policy's).  Trials are keyed by
+        ``(spec fingerprint, seed)`` -- the fingerprint is content-derived
+        from the spec minus its execution-only fields, so a resumed study
+        with a different worker count still hits the journal and produces
+        bit-identical results.
     """
+    from repro.experiments.resilience import spec_fingerprint  # late: avoids cycle
     from repro.experiments.runner import monte_carlo  # late: avoids cycle
 
     entry: AlgorithmEntry = ALGORITHMS.get(spec.algorithm)
     run_one = entry.build_trial(spec)
+    fingerprint = spec_fingerprint(spec)
     if entry.one_shot:
         if spec.trials != 1:
             raise ValueError(
                 f"algorithm {spec.algorithm!r} is a one-shot evaluation; "
                 f"use one point per parameter value instead of trials={spec.trials}"
             )
-        return [run_one(spec.seed)]
+        return _checkpointed_one_shot(spec, run_one, fingerprint, checkpoint)
     rule = adaptive if adaptive is not None else spec.stopping
     if rule is not None:
         rule = rule.resolved(entry.metric)
@@ -89,6 +99,8 @@ def run_scenario(
             label=spec.label,
             adaptive=rule,
             stats_out=stats_out,
+            checkpoint=checkpoint,
+            checkpoint_key=fingerprint,
         )
     worker_count: Optional[int] = spec.workers if workers is None else workers
     if worker_count == 0:
@@ -101,6 +113,24 @@ def run_scenario(
         workers=worker_count,
         adaptive=rule,
         stats_out=stats_out,
+        checkpoint=checkpoint,
+        checkpoint_key=fingerprint,
+    )
+
+
+def _checkpointed_one_shot(
+    spec: ScenarioSpec, run_one: Any, fingerprint: str, checkpoint: Optional[Any]
+) -> List[Any]:
+    """One-shot points consume the raw spec seed; journal them under it."""
+    from repro.experiments.resilience import checkpointed_trials, resolve_checkpoint
+
+    journal, key = resolve_checkpoint(checkpoint, fingerprint, run_one, spec.seed, spec.label)
+    return checkpointed_trials(
+        [spec.seed],
+        lambda block: [run_one(seed) for seed in block],
+        journal,
+        key,
+        record_batch=1,
     )
 
 
@@ -116,16 +146,25 @@ def run_study(
     pool: Optional[Any] = None,
     workers: Optional[int] = 1,
     adaptive: Optional[Any] = None,
+    checkpoint: Optional[Any] = None,
 ) -> List[List[Any]]:
     """Run every point of a study; per-point result lists in point order.
 
     One :class:`~repro.experiments.parallel.SweepPool` (the caller's, or a
     fresh one sized by ``workers``) serves the whole battery, so pool startup
     is paid once per study rather than once per point.  ``adaptive``
-    resolves its metric against the study's declared target.
+    resolves its metric against the study's declared target.  ``checkpoint``
+    (explicit or the ambient policy's journal) keys every trial by its
+    point's spec fingerprint, so a killed study resumes exactly where it
+    stopped -- across points as well as within one.
     """
     from repro.experiments.parallel import SweepPool  # late: avoids cycle
+    from repro.experiments.resilience import current_policy
 
+    journal = checkpoint
+    if journal is None:
+        policy = current_policy()
+        journal = policy.checkpoint if policy is not None else None
     rule = adaptive
     if rule is not None:
         rule = rule.resolved(study.metric)
@@ -135,7 +174,40 @@ def run_study(
         if all(entry.one_shot for entry in entries):
             # One deterministic evaluation per point: fan the points
             # themselves across the pool (the E4/E5 shape).
-            return [[result] for result in shared.map(_run_one_shot, points)]
+            if journal is None:
+                return [[result] for result in shared.map(_run_one_shot, points)]
+            return _checkpointed_point_map(points, shared, journal)
         return [
-            run_scenario(point, pool=shared, adaptive=rule) for point in points
+            run_scenario(point, pool=shared, adaptive=rule, checkpoint=journal)
+            for point in points
         ]
+
+
+def _checkpointed_point_map(
+    points: List[ScenarioSpec], shared: Any, journal: Any
+) -> List[List[Any]]:
+    """The one-shot study branch with a journal: run only the missing points.
+
+    Each point is keyed by ``(its own fingerprint, its seed)``, looked up
+    before dispatch, and the missing points are fanned out together (one
+    ``map``, preserving the no-journal dispatch shape) then journaled.
+    Failed placeholders are never journaled, so a resume re-attempts them.
+    """
+    from repro.experiments.resilience import TrialFailure, spec_fingerprint
+
+    keys = [spec_fingerprint(point) for point in points]
+    results: List[Any] = [None] * len(points)
+    missing: List[int] = []
+    for index, (point, key) in enumerate(zip(points, keys)):
+        cached = journal.lookup(key, [point.seed])
+        if point.seed in cached:
+            results[index] = cached[point.seed]
+        else:
+            missing.append(index)
+    if missing:
+        fresh = shared.map(_run_one_shot, [points[index] for index in missing])
+        for index, result in zip(missing, fresh):
+            results[index] = result
+            if not isinstance(result, TrialFailure):
+                journal.record(keys[index], points[index].seed, result)
+    return [[result] for result in results]

@@ -143,6 +143,13 @@ class ScenarioSpec:
     workers:
         Default worker processes when the caller does not supply a pool
         (``0`` = one per CPU).
+    on_budget:
+        What exhausting ``max_events``/``max_time`` means: ``"stop"``
+        (default) truncates the run and reports whatever happened, while
+        ``"raise"`` arms the divergence watchdog -- a trial that exhausts
+        its budget with live events pending raises
+        :class:`~repro.sim.engine.SimulationDiverged` inside the worker, so
+        pathological specs fail fast instead of hanging a study.
     params:
         Algorithm-specific extras, forwarded to the workload runner
         (e.g. ``rounds`` for the synchronizer battery, ``initiator`` for the
@@ -169,6 +176,7 @@ class ScenarioSpec:
     workers: int = 1
     max_events: Optional[int] = None
     max_time: Optional[float] = None
+    on_budget: str = "stop"
     expected_delay_bound: Optional[float] = None
     validate_model: bool = True
     batch_sampling: bool = True
@@ -209,6 +217,10 @@ class ScenarioSpec:
             raise ValueError(f"max_events must be >= 1, got {self.max_events}")
         if self.max_time is not None and self.max_time <= 0:
             raise ValueError(f"max_time must be positive, got {self.max_time}")
+        if self.on_budget not in ("stop", "raise"):
+            raise ValueError(
+                f"on_budget must be 'stop' or 'raise', got {self.on_budget!r}"
+            )
         if self.stopping is not None:
             from repro.experiments.runner import AdaptiveStopping  # late: cycle
 

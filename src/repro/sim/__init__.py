@@ -23,7 +23,7 @@ and the whole execution is a pure function of the master seed.  That property
 is what makes the Monte-Carlo estimates in the experiment harness reproducible.
 """
 
-from repro.sim.engine import Simulator, SimulationError
+from repro.sim.engine import SimulationDiverged, SimulationError, Simulator
 from repro.sim.events import Event, EventHandle, EventKind
 from repro.sim.clock import (
     ClockDriftModel,
@@ -44,6 +44,7 @@ from repro.sim.trace import TraceEvent, Tracer
 
 __all__ = [
     "Simulator",
+    "SimulationDiverged",
     "SimulationError",
     "Event",
     "EventHandle",

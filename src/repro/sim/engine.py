@@ -83,6 +83,52 @@ class SimulationError(RuntimeError):
     """Raised for invalid scheduler usage (negative delays, re-running, ...)."""
 
 
+class SimulationDiverged(SimulationError):
+    """A run exhausted its event or time budget with live work still pending.
+
+    Raised by :meth:`Simulator.run` only when the caller opts in with
+    ``raise_on_limit=True``; the default behaviour (truncate silently and
+    return) is unchanged.  The exception distinguishes the three legitimate
+    ways a run ends -- queue exhaustion, an explicit :meth:`Simulator.stop`
+    (e.g. a satisfied ``stop_when`` predicate), and budget truncation -- and
+    fires only for the last, so a simulation that *completed* within its
+    budget never raises.
+
+    Carries enough context to diagnose the divergence without re-running:
+    ``events_processed``, the clock value ``now``, and the ``max_events`` /
+    ``max_time`` budgets that were in force.  Picklable, so it crosses
+    ``multiprocessing`` worker boundaries intact.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        events_processed: int = 0,
+        now: float = 0.0,
+        max_events: Optional[int] = None,
+        max_time: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.events_processed = events_processed
+        self.now = now
+        self.max_events = max_events
+        self.max_time = max_time
+
+    def __reduce__(self):
+        # Default exception pickling replays only ``args``; replay the full
+        # positional signature so worker-raised instances keep their context.
+        return (
+            type(self),
+            (
+                self.args[0] if self.args else "",
+                self.events_processed,
+                self.now,
+                self.max_events,
+                self.max_time,
+            ),
+        )
+
+
 class Simulator:
     """Deterministic discrete-event scheduler.
 
@@ -432,6 +478,8 @@ class Simulator:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
+        *,
+        raise_on_limit: bool = False,
     ) -> float:
         """Run the simulation until exhaustion, a time horizon, or an event cap.
 
@@ -443,6 +491,12 @@ class Simulator:
         max_events:
             If given, stop after firing this many events (useful as a safety
             net against non-terminating algorithms).
+        raise_on_limit:
+            If ``True``, exhausting either budget while live events are still
+            pending raises :class:`SimulationDiverged` instead of truncating
+            silently -- the in-simulation divergence watchdog.  A run that
+            ends by queue exhaustion or an explicit :meth:`stop` (a satisfied
+            ``stop_when`` predicate) never raises.
 
         Returns
         -------
@@ -453,6 +507,7 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        truncated = False
         fired = 0
         limit = _INF if max_events is None else max_events
         queue = self._queue
@@ -471,6 +526,7 @@ class Simulator:
                 if fired >= limit:
                     # Event cap: break (not the while-else) so the clock is NOT
                     # advanced to the horizon past still-pending events.
+                    truncated = True
                     break
                 if until is not None:
                     # Peek before popping: drain cancelled heads in one pass so
@@ -486,6 +542,7 @@ class Simulator:
                         continue  # loop condition fails; horizon handling below
                     if queue[0][0] > until:
                         self._now = until
+                        truncated = True
                         break
                     entry = _heappop(queue)
                     is_event = len(entry) == 4
@@ -541,6 +598,20 @@ class Simulator:
                     self._now = max(self._now, until)
         finally:
             self._running = False
+        if truncated and raise_on_limit and not self._stopped:
+            # Only live pending work counts as divergence; a queue holding
+            # nothing but cancelled records is a completed simulation.
+            for entry in queue:
+                if len(entry) == 5 or not entry[3].cancelled:
+                    raise SimulationDiverged(
+                        "simulation exhausted its budget with live events pending "
+                        f"(events_processed={self._events_processed}, now={self._now:.6g}, "
+                        f"max_events={max_events}, max_time={until})",
+                        self._events_processed,
+                        self._now,
+                        max_events,
+                        until,
+                    )
         return self._now
 
     def stop(self) -> None:

@@ -20,6 +20,12 @@ def square(x):  # module-level: picklable for pool workers
     return x * x
 
 
+def poison(x):  # module-level: picklable, raises on one input
+    if x == 3:
+        raise ValueError("poison item")
+    return x * x
+
+
 class TestSweepPoolBasics:
     def test_map_preserves_order(self):
         with SweepPool(workers=3) as pool:
@@ -68,6 +74,54 @@ class TestSweepPoolBasics:
             )
         expected = [v for v in monte_carlo(square, trials=12, base_seed=1) if v % 2 == 0]
         assert kept == expected
+
+
+class TestSweepPoolExceptionPaths:
+    """Failure inside a map must leave the pool object in a sane state."""
+
+    def test_worker_exception_propagates_and_pool_stays_usable(self):
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        with SweepPool(workers=2) as pool:
+            with pytest.raises(ValueError, match="poison item"):
+                pool.map(poison, range(6))
+            # pool.map always propagated worker exceptions and kept the pool
+            # alive; the supervised rewrite must preserve both.
+            assert pool.map(square, range(6)) == [x * x for x in range(6)]
+
+    def test_close_after_failed_map_is_clean(self):
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        pool = SweepPool(workers=2)
+        with pytest.raises(ValueError):
+            pool.map(poison, range(6))
+        pool.close()  # must terminate+join without hanging or raising
+        assert pool._pool is None
+        with pytest.raises(RuntimeError):
+            pool.map(square, range(4))
+
+    def test_ensure_releases_owned_pool_on_error(self):
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        leaked = {}
+        with pytest.raises(RuntimeError, match="mid-sweep"):
+            with SweepPool.ensure(None, 2) as owned:
+                owned.map(square, range(4))
+                leaked["pool"] = owned
+                raise RuntimeError("mid-sweep")
+        assert leaked["pool"]._closed
+        assert leaked["pool"]._pool is None
+
+    def test_ensure_leaves_external_pool_open_on_error(self):
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        with SweepPool(workers=2) as external:
+            with pytest.raises(RuntimeError):
+                with SweepPool.ensure(external, None) as shared:
+                    shared.map(square, range(4))
+                    raise RuntimeError("mid-sweep")
+            assert not external._closed
+            assert external.map(square, range(4)) == [0, 1, 4, 9]
 
 
 class TestElectionTrialPicklability:

@@ -116,6 +116,51 @@ class TestCrashStopFault:
             injector.apply(["not-a-fault"])
 
 
+class TestFaultIdempotency:
+    """Re-applying the same fault must be a no-op, not a compounding wrap."""
+
+    def test_double_apply_same_loss_fault_does_not_compound(self):
+        # Historically each apply stacked another lossy_deliver wrapper, so
+        # two applies of p=0.3 silently dropped at 1-(1-0.3)^2 = 0.51.  The
+        # double-applied network must now behave exactly like a single apply.
+        fault = MessageLossFault(loss_probability=0.3)
+        single = traversal_network(seed=11)
+        once = FaultInjector(single)
+        assert once.apply_message_loss(fault) == 6
+        single.run(until=100.0, max_events=5000)
+
+        doubled = traversal_network(seed=11)
+        twice = FaultInjector(doubled)
+        assert twice.apply_message_loss(fault) == 6
+        assert twice.apply_message_loss(fault) == 0  # second apply: no-op
+        doubled.run(until=100.0, max_events=5000)
+
+        assert twice.messages_dropped == once.messages_dropped
+        assert doubled.messages_delivered() == single.messages_delivered()
+
+    def test_equal_loss_faults_are_also_deduplicated(self):
+        network = traversal_network(seed=11)
+        injector = FaultInjector(network)
+        assert injector.apply_message_loss(MessageLossFault(loss_probability=0.3)) == 6
+        # A distinct but field-equal fault object describes the same fault.
+        assert injector.apply_message_loss(MessageLossFault(loss_probability=0.3)) == 0
+        # A genuinely different fault still applies.
+        assert injector.apply_message_loss(MessageLossFault(loss_probability=0.1)) == 6
+
+    def test_double_apply_crash_records_one_crash(self):
+        network = traversal_network(seed=12)
+        injector = FaultInjector(network)
+        fault = CrashStopFault(node_uid=3, crash_time=2.5)
+        injector.apply_crash(fault)
+        injector.apply_crash(fault)
+        injector.apply(
+            [CrashStopFault(node_uid=3, crash_time=2.5)]
+        )  # equal fault via the batch path: still a no-op
+        network.run(until=50.0, max_events=5000)
+        assert injector.nodes_crashed == [3]
+        assert network.metrics.count("nodes_crashed") == 1
+
+
 class TestElectionUnderFaults:
     """Why the ABE model folds unreliability into the delay distribution."""
 
