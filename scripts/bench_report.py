@@ -23,6 +23,12 @@ run:
     rescheduling, identity clock fast path) vs the pre-refactor replica
     (``benchmarks/legacy_election_core.py``), plus the opt-in ``batch_ticks``
     shared-round-driver mode.
+``vector_core``
+    Ticks/sec of the columnar numpy engine (``repro.core.vector_core``) vs
+    the object core on its fast defaults, on the same tick-dominated
+    workload (``benchmarks/bench_vector_core.py``; different deterministic
+    random streams by design, so throughput -- not trajectories -- is
+    compared).
 ``sampling``
     Per-message delay sampling vs numpy-backed batch sampling
     (``batch_sampling=True``).  ``batched_speedup`` gates on the sampling
@@ -43,6 +49,12 @@ run:
     size vs reusing one :class:`repro.experiments.parallel.SweepPool`, with
     the bit-identity of the two result sets asserted.
 
+Every section also reports ``peak_mem_mb``: the tracemalloc peak of one
+representative workload run.  Tracing slows Python severely, so memory is
+always measured in a separate untimed pass, never inside a timed region;
+sections that fan out to worker processes report the serial path's peak
+(child allocations are invisible to the parent's tracemalloc).
+
 ``--quick`` shrinks every workload so the whole report takes a few seconds;
 CI runs it on every PR to keep a perf artifact trail.  Numbers are
 machine-dependent -- compare trajectories on the same hardware, not absolute
@@ -56,6 +68,7 @@ import json
 import os
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -86,6 +99,25 @@ from bench_message_path import (  # noqa: E402
     legacy_messages_per_second,
     optimized_messages_per_second,
 )
+from bench_vector_core import (  # noqa: E402
+    object_ticks_per_second,
+    vector_ticks_per_second,
+)
+
+
+def peak_memory_mb(fn) -> float:
+    """Tracemalloc peak (MB) of one run of ``fn``, measured untimed.
+
+    Tracing multiplies the cost of every allocation, so this must never run
+    inside a timed region -- each bench section does a dedicated memory pass.
+    """
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return round(peak / (1024 * 1024), 3)
 
 
 def bench_engine(n_events: int, repeats: int) -> dict:
@@ -103,6 +135,9 @@ def bench_engine(n_events: int, repeats: int) -> dict:
         "seed_engine_events_per_sec": round(legacy),
         "speedup_vs_seed": round(optimized / legacy, 2),
         "chain_events": n_events,
+        "peak_mem_mb": peak_memory_mb(
+            lambda: events_per_second(Simulator, n_events)
+        ),
     }
 
 
@@ -120,6 +155,9 @@ def bench_message_path(messages: int, repeats: int) -> dict:
         "legacy_messages_per_sec": round(legacy),
         "speedup_vs_legacy": round(optimized / legacy, 2),
         "relay_messages": messages,
+        "peak_mem_mb": peak_memory_mb(
+            lambda: optimized_messages_per_second(messages)
+        ),
     }
 
 
@@ -147,6 +185,30 @@ def bench_election_core(repeats: int) -> dict:
         "speedup_vs_legacy": round(live / legacy, 2),
         "batch_ticks_per_sec": round(batched),
         "batch_ticks_speedup": round(batched / live, 2),
+        "peak_mem_mb": peak_memory_mb(live_ticks_per_second),
+    }
+
+
+def bench_vector_core(repeats: int) -> dict:
+    # Interleave vector / object so CPU frequency drift hits both equally.
+    # Same workload as bench_election_core; the object side runs its fast
+    # defaults, so the speedup measures the columnar engine against the best
+    # object-core configuration (see benchmarks/bench_vector_core.py).
+    vector_runs = []
+    object_runs = []
+    for _ in range(repeats):
+        vector_runs.append(vector_ticks_per_second())
+        object_runs.append(object_ticks_per_second())
+    vector = max(vector_runs)
+    obj = max(object_runs)
+    return {
+        "ring_size": ELECTION_CORE_RING,
+        "a0": ELECTION_CORE_A0,
+        "ticks_per_sec": round(vector),
+        "object_ticks_per_sec": round(obj),
+        "speedup_vs_object": round(vector / obj, 2),
+        "peak_mem_mb": peak_memory_mb(vector_ticks_per_second),
+        "object_peak_mem_mb": peak_memory_mb(object_ticks_per_second),
     }
 
 
@@ -225,6 +287,9 @@ def bench_sampling(n: int, trials: int, draws: int = 300_000, repeats: int = 2) 
         "scalar_election_events_per_sec": round(scalar[1]),
         "batched_election_events_per_sec": round(batched[1]),
         "election_events_speedup": round(batched[1] / scalar[1], 2),
+        "peak_mem_mb": peak_memory_mb(
+            lambda: _election_throughput(n, trials, batch_sampling=True)
+        ),
     }
 
 
@@ -252,6 +317,10 @@ def bench_trials(n: int, trials: int, workers: int) -> dict:
         "parallel_trials_per_sec": round(trials / parallel_elapsed, 2),
         "parallel_speedup": round(serial_elapsed / parallel_elapsed, 2),
         "results_bit_identical": True,
+        # Serial path only: child-process allocations are invisible here.
+        "peak_mem_mb": peak_memory_mb(
+            lambda: [run_one(seed) for seed in seeds]
+        ),
     }
 
 
@@ -329,6 +398,13 @@ def main() -> int:
         f"({election_core['speedup_vs_legacy']}x vs legacy core, "
         f"batch_ticks {election_core['batch_ticks_speedup']}x)"
     )
+    print("benchmarking vector core ...", flush=True)
+    vector_core = bench_vector_core(repeats)
+    print(
+        f"  {vector_core['ticks_per_sec']:,} ticks/sec "
+        f"({vector_core['speedup_vs_object']}x vs object core; peak "
+        f"{vector_core['peak_mem_mb']} MB vs {vector_core['object_peak_mem_mb']} MB)"
+    )
     print("benchmarking delay sampling ...", flush=True)
     sampling = bench_sampling(sampling_n, sampling_trials)
     print(
@@ -368,6 +444,7 @@ def main() -> int:
         "engine": engine,
         "message_path": message_path,
         "election_core": election_core,
+        "vector_core": vector_core,
         "sampling": sampling,
         "experiments_e2e": experiments_e2e,
         "trials": trials,

@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
     elect.add_argument(
         "--delta", type=float, default=1.0, help="expected delay bound (default 1.0)"
     )
+    elect.add_argument(
+        "--core",
+        choices=("object", "vector"),
+        default="object",
+        help=(
+            "election engine: per-node reference ('object') or columnar numpy "
+            "('vector'; own random streams, so a different sample path per seed)"
+        ),
+    )
 
     experiment = subparsers.add_parser("experiment", help="run one experiment")
     experiment.add_argument(
@@ -113,9 +122,14 @@ def _command_elect(args: argparse.Namespace) -> int:
 
     a0 = args.a0 if args.a0 is not None else recommended_a0(args.n)
     result = run_election(
-        args.n, a0=a0, delay=ExponentialDelay(mean=args.delta), seed=args.seed
+        args.n,
+        a0=a0,
+        delay=ExponentialDelay(mean=args.delta),
+        seed=args.seed,
+        core=args.core,
     )
     print(f"ring size          : {result.n}")
+    print(f"engine core        : {args.core}")
     print(f"activation A0      : {a0:.6g}")
     print(f"leader elected     : {result.elected}")
     print(f"leader uid         : {result.leader_uid}")
@@ -161,6 +175,7 @@ def _command_scenario(args: argparse.Namespace) -> int:
         StudySpec,
         load_spec,
         render_scenario,
+        render_study_scaling,
         run_scenario,
         run_study,
     )
@@ -199,6 +214,10 @@ def _command_scenario(args: argparse.Namespace) -> int:
                 for point, results in zip(study.points, per_point):
                     print()
                     print(render_scenario(point, results))
+                scaling = render_study_scaling(study, per_point)
+                if scaling is not None:
+                    print()
+                    print(scaling)
             else:
                 point = adjust(spec)
                 results = run_scenario(point, workers=workers, adaptive=adaptive)

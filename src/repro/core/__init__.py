@@ -13,6 +13,9 @@ together with the helpers the experiments need:
 * :mod:`repro.core.runner` -- :func:`~repro.core.runner.run_election`, the
   high-level API that builds an ABE ring, runs the algorithm and returns an
   :class:`~repro.core.runner.ElectionResult`.
+* :mod:`repro.core.vector_core` -- the columnar numpy engine behind
+  ``run_election(core="vector")``: same state machine, flat-array state,
+  one vectorized activation round per tick instant.
 * :mod:`repro.core.analysis` -- closed-form reference quantities (wake-up
   pressure, asymptotic baselines) used by tests and benchmark tables.
 * :mod:`repro.core.verification` -- execution checkers for the safety and
@@ -26,7 +29,13 @@ from repro.core.activation import (
     ConstantActivation,
 )
 from repro.core.election import AbeElectionProgram, ElectionStatus, NodeState
-from repro.core.runner import ElectionResult, run_election, run_election_on_network
+from repro.core.runner import (
+    ELECTION_CORES,
+    ElectionResult,
+    run_election,
+    run_election_on_network,
+)
+from repro.core.vector_core import VectorRingElection, run_vector_election
 from repro.core.analysis import (
     async_ring_message_lower_bound,
     combined_idle_probability,
@@ -45,9 +54,12 @@ __all__ = [
     "AbeElectionProgram",
     "ElectionStatus",
     "NodeState",
+    "ELECTION_CORES",
     "ElectionResult",
     "run_election",
     "run_election_on_network",
+    "VectorRingElection",
+    "run_vector_election",
     "wakeup_pressure",
     "combined_idle_probability",
     "expected_ticks_until_first_activation",

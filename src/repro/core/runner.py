@@ -30,6 +30,9 @@ from repro.sim.process import SharedTickProcess
 
 __all__ = ["ElectionResult", "run_election", "run_election_on_network"]
 
+#: Election engine implementations selectable via ``run_election(core=...)``.
+ELECTION_CORES = ("object", "vector")
+
 DelayModel = Union[DelayDistribution, AdversarialDelay]
 
 
@@ -197,7 +200,9 @@ def build_election_network(
     for channel in network.channels:
         channel.payload_recycler = hop_pool.release
     if batch_ticks:
-        driver = SharedTickProcess(network.simulator, period=tick_period)
+        driver = SharedTickProcess(
+            network.simulator, period=tick_period, expected_members=n
+        )
         for node in network.nodes:
             node.program.tick_driver = driver
     return network, status
@@ -267,6 +272,7 @@ def run_election(
     max_events: Optional[int] = None,
     max_time: Optional[float] = None,
     on_budget: str = "stop",
+    core: str = "object",
 ) -> ElectionResult:
     """Elect a leader on an anonymous unidirectional ABE ring of size ``n``.
 
@@ -274,6 +280,16 @@ def run_election(
     the per-channel delay model (default: exponential with mean 1, the
     canonical ABE channel), the clock-rate bounds, and the expected local
     processing delay.  See :class:`ElectionResult` for what is measured.
+
+    ``core`` selects the engine: ``"object"`` is the per-node reference
+    implementation; ``"vector"`` runs the same state machine on the columnar
+    :class:`~repro.core.vector_core.VectorRingElection` engine (own
+    seed-deterministic numpy streams, so a *different sample path* per seed
+    -- see the stream-migration note in :mod:`repro.core.vector_core`).
+    The vector core rejects per-node clock knobs (``clock_bounds`` other
+    than ``(1, 1)``, ``clock_drift_factory``) and ``enable_trace``;
+    ``batch_sampling``/``batch_ticks`` are object-core performance toggles
+    and are ignored there (vectorization subsumes both).
 
     Examples
     --------
@@ -283,6 +299,42 @@ def run_election(
     >>> 0 <= result.leader_uid < 8
     True
     """
+    if core not in ELECTION_CORES:
+        raise ValueError(f"core must be one of {ELECTION_CORES}, got {core!r}")
+    if core == "vector":
+        if tuple(clock_bounds) != (1.0, 1.0):
+            raise ValueError(
+                "core='vector' shares one activation round across the ring and "
+                "does not support clock_bounds != (1, 1); use core='object'"
+            )
+        if clock_drift_factory is not None:
+            raise ValueError(
+                "core='vector' does not support clock_drift_factory; "
+                "use core='object'"
+            )
+        if enable_trace:
+            raise ValueError(
+                "core='vector' has no per-event trace stream; use core='object'"
+            )
+        # Imported lazily: vector_core imports ElectionResult from this module.
+        from repro.core.vector_core import run_vector_election
+
+        return run_vector_election(
+            n,
+            a0=a0,
+            delay=delay,
+            seed=seed,
+            schedule=schedule,
+            fifo=fifo,
+            purge_at_active=purge_at_active,
+            tick_period=tick_period,
+            processing_delay=processing_delay,
+            validate_model=validate_model,
+            expected_delay_bound=expected_delay_bound,
+            max_events=max_events,
+            max_time=max_time,
+            on_budget=on_budget,
+        )
     network, status = build_election_network(
         n,
         a0=a0,

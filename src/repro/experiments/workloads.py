@@ -89,6 +89,7 @@ _ELECTION_SPEC_FIELDS = frozenset(
         "expected_delay_bound",
         "batch_sampling",
         "batch_ticks",
+        "core",
         "max_events",
         "max_time",
     }

@@ -22,7 +22,12 @@ from repro.scenarios.spec import (
 from repro.scenarios.registry import DELAYS, DRIFTS, SCHEDULES, TOPOLOGIES, Registry
 from repro.scenarios.algorithms import ALGORITHMS, AlgorithmEntry, WaveResult
 from repro.scenarios.runtime import compile_trial, run_scenario, run_study
-from repro.scenarios.report import render_scenario, scenario_table
+from repro.scenarios.report import (
+    render_scenario,
+    render_study_scaling,
+    scenario_table,
+    study_scaling_fits,
+)
 
 __all__ = [
     "ScenarioSpec",
@@ -43,5 +48,7 @@ __all__ = [
     "run_scenario",
     "run_study",
     "render_scenario",
+    "render_study_scaling",
+    "study_scaling_fits",
     "scenario_table",
 ]

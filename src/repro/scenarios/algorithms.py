@@ -156,6 +156,14 @@ class ElectionScenarioTrial:
     byte-identical.  Faulted specs take the build-inject-run path instead
     (:func:`~repro.core.runner.build_election_network` +
     :class:`~repro.network.faults.FaultInjector`).
+
+    ``core="vector"`` specs compile onto the columnar engine instead:
+    the no-fault path is ``run_election(..., core="vector")`` and faults
+    translate to the engine's first-class knobs (``message-loss`` nodes
+    combine into one per-delivery drop probability ``1 - prod(1 - p_i)``,
+    ``crash`` nodes become ``(node_uid, crash_time)`` pairs).  A loss fault
+    with a ``channel_predicate`` is rejected at compile time -- the vector
+    core has no channel objects to filter.
     """
 
     __slots__ = (
@@ -166,6 +174,8 @@ class ElectionScenarioTrial:
         "max_events",
         "max_time",
         "on_budget",
+        "core",
+        "vector_kwargs",
         "kwargs",
     )
 
@@ -178,6 +188,7 @@ class ElectionScenarioTrial:
         self.max_events = spec.max_events
         self.max_time = spec.max_time
         self.on_budget = spec.on_budget
+        self.core = spec.core
         kwargs: Dict[str, Any] = dict(
             schedule=build_schedule(spec.schedule),
             clock_bounds=spec.clock_bounds,
@@ -198,8 +209,58 @@ class ElectionScenarioTrial:
         # ``delay=`` keyword below.
         self.delay = kwargs.pop("delay", self.delay)
         self.kwargs = kwargs
+        self.vector_kwargs = (
+            self._compile_vector(spec) if spec.core == "vector" else None
+        )
+
+    def _compile_vector(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        """Vector-engine kwargs, with the unsupported knobs rejected by name."""
+        if tuple(spec.clock_bounds) != (1.0, 1.0):
+            raise ValueError(
+                "core='vector' does not support clock_bounds != (1, 1); "
+                "use core='object'"
+            )
+        if spec.drift is not None:
+            raise ValueError(
+                "core='vector' does not support the 'drift' knob; "
+                "use core='object'"
+            )
+        message_loss = 0.0
+        crashes: List[Tuple[int, float]] = []
+        for fault in self.faults:
+            if isinstance(fault, MessageLossFault):
+                if fault.channel_predicate is not None:
+                    raise ValueError(
+                        "core='vector' supports ring-wide message loss only; "
+                        "a channel_predicate needs the object core"
+                    )
+                # Independent per-delivery coins compose multiplicatively.
+                message_loss = 1.0 - (1.0 - message_loss) * (
+                    1.0 - fault.loss_probability
+                )
+            else:
+                crashes.append((fault.node_uid, fault.crash_time))
+        kwargs = dict(self.kwargs)
+        for object_only in ("clock_bounds", "clock_drift_factory", "batch_sampling", "batch_ticks"):
+            kwargs.pop(object_only, None)
+        kwargs["message_loss"] = message_loss
+        kwargs["crashes"] = tuple(crashes)
+        return kwargs
 
     def __call__(self, seed: int) -> Any:
+        if self.vector_kwargs is not None:
+            from repro.core.vector_core import run_vector_election
+
+            return run_vector_election(
+                self.n,
+                a0=self.a0,
+                delay=self.delay,
+                seed=seed,
+                max_events=self.max_events,
+                max_time=self.max_time,
+                on_budget=self.on_budget,
+                **self.vector_kwargs,
+            )
         from repro.core.runner import (
             build_election_network,
             run_election,

@@ -11,13 +11,18 @@ experiment reports (:mod:`repro.experiments.reporting`).
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments.reporting import format_cell, format_table
 from repro.experiments.results import ResultTable
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import ScenarioSpec, StudySpec
 
-__all__ = ["scenario_table", "render_scenario"]
+__all__ = [
+    "scenario_table",
+    "render_scenario",
+    "study_scaling_fits",
+    "render_study_scaling",
+]
 
 #: Cap on per-trial rows printed; aggregates always cover every trial.
 MAX_ROWS = 20
@@ -85,6 +90,76 @@ def _aggregates(rows: List[Dict[str, Any]]) -> List[str]:
         elif all(isinstance(v, bool) for v in values):
             lines.append(f"  {key}: {sum(values)}/{len(values)} true")
     return lines
+
+
+#: Metrics a ring-size study fits growth orders for (result attribute ->
+#: whether only elected trials contribute).
+_SCALING_METRICS = (("election_time", True), ("messages_total", False))
+
+
+def study_scaling_fits(
+    study: StudySpec, per_point: Sequence[Sequence[Any]]
+) -> Optional[Dict[str, Any]]:
+    """Fitted growth orders for a ring study sweeping >= 2 distinct sizes.
+
+    Returns ``{"sizes": [...], "fits": {metric: fits}}`` where each ``fits``
+    is the ordered mapping of :func:`repro.stats.complexity_fit.best_growth_order`
+    (best first), or ``None`` when the study is not a ring-size scaling sweep
+    (non-ring points, a single size, or no completed elections at some size).
+    """
+    from repro.stats.complexity_fit import best_growth_order
+
+    sizes: List[int] = []
+    means: Dict[str, List[float]] = {metric: [] for metric, _ in _SCALING_METRICS}
+    for point, results in zip(study.points, per_point):
+        node = point.topology
+        if node.kind != "uniring" or "n" not in node.params:
+            return None
+        for metric, elected_only in _SCALING_METRICS:
+            values = [
+                float(getattr(result, metric))
+                for result in results
+                if getattr(result, metric, None) is not None
+                and (not elected_only or getattr(result, "elected", False))
+            ]
+            if not values:
+                return None
+            means[metric].append(sum(values) / len(values))
+        sizes.append(int(node.params["n"]))
+    if len(set(sizes)) < 2:
+        return None
+    return {
+        "sizes": sizes,
+        "fits": {
+            metric: best_growth_order(sizes, means[metric])
+            for metric, _ in _SCALING_METRICS
+        },
+    }
+
+
+def render_study_scaling(
+    study: StudySpec, per_point: Sequence[Sequence[Any]]
+) -> Optional[str]:
+    """Plain-text scaling-law block for a ring-size study, or ``None``."""
+    fitted = study_scaling_fits(study, per_point)
+    if fitted is None:
+        return None
+    sizes = fitted["sizes"]
+    lines = [
+        f"== fitted scaling laws ({len(sizes)} sizes, "
+        f"n = {min(sizes)} .. {max(sizes)}) ==",
+    ]
+    for metric, fits in fitted["fits"].items():
+        best = next(iter(fits.values()))
+        alternatives = ", ".join(
+            f"{fit.model}: {fit.relative_error:.1%}"
+            for fit in list(fits.values())[1:]
+        )
+        lines.append(
+            f"  {metric}: best fit ~ {best.coefficient:.4g} * {best.model} "
+            f"(rel err {best.relative_error:.1%}; next: {alternatives})"
+        )
+    return "\n".join(lines)
 
 
 def render_scenario(spec: ScenarioSpec, results: Sequence[Any]) -> str:

@@ -150,6 +150,13 @@ class ScenarioSpec:
         its budget with live events pending raises
         :class:`~repro.sim.engine.SimulationDiverged` inside the worker, so
         pathological specs fail fast instead of hanging a study.
+    core:
+        Election engine: ``"object"`` (the per-node reference) or
+        ``"vector"`` (the columnar numpy engine,
+        :mod:`repro.core.vector_core`).  The vector core draws from its own
+        seed-deterministic streams, so the same spec follows a different --
+        distributionally equivalent -- sample path per seed; election
+        scenarios only.
     params:
         Algorithm-specific extras, forwarded to the workload runner
         (e.g. ``rounds`` for the synchronizer battery, ``initiator`` for the
@@ -181,6 +188,7 @@ class ScenarioSpec:
     validate_model: bool = True
     batch_sampling: bool = True
     batch_ticks: bool = True
+    core: str = "object"
     params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -220,6 +228,10 @@ class ScenarioSpec:
         if self.on_budget not in ("stop", "raise"):
             raise ValueError(
                 f"on_budget must be 'stop' or 'raise', got {self.on_budget!r}"
+            )
+        if self.core not in ("object", "vector"):
+            raise ValueError(
+                f"core must be 'object' or 'vector', got {self.core!r}"
             )
         if self.stopping is not None:
             from repro.experiments.runner import AdaptiveStopping  # late: cycle

@@ -1,0 +1,182 @@
+"""Columnar (struct-of-arrays) pending-event store for the vector core.
+
+The object engine keeps one Python :class:`~repro.sim.events.Event` record
+per pending occurrence.  :class:`SimCore` is the columnar counterpart used by
+:mod:`repro.core.vector_core`: the payload of every pending message arrival
+lives in flat numpy columns (arrival time, hop counter, destination index)
+addressed by an integer *slot*, and only a plain ``(time, seq, slot)`` tuple
+rides the :mod:`heapq` heap.  Slots are recycled through a free list and the
+columns grow by doubling, so a steady-state election allocates nothing per
+message beyond the heap tuple.
+
+Ordering contract
+-----------------
+Ties in ``time`` break by push order (the monotonically increasing ``seq``),
+exactly like the object engine's shared sequence counter -- so a run is
+deterministic for a fixed seed even when a discrete delay model lands two
+arrivals on the same instant.
+
+Batch pushes (:meth:`SimCore.push_batch`) write the columns vectorized and
+only loop for the cheap per-entry ``heappush``; this is the path the vector
+core's activation rounds use after drawing a whole round of delays in one
+:meth:`~repro.network.delays.DelayDistribution.sample_array` call.
+
+Inline entries
+--------------
+Scalar sends (one forwarded message at a time) skip the slot round-trip
+entirely: :meth:`SimCore.push_inline` rides the payload in the heap tuple
+itself as ``(time, seq, hop, dst)``.  Mixing 4-tuples with the columnar
+``(time, seq, slot)`` entries is safe because ``seq`` is unique and strictly
+increasing, so tuple comparison never reaches the third element; ordering
+stays exactly push order within a time tie.  :meth:`SimCore.pop` returns the
+same ``(time, hop, dst)`` view of either representation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SimCore"]
+
+
+class SimCore:
+    """Min-time store of pending message arrivals with columnar payloads.
+
+    Parameters
+    ----------
+    capacity:
+        Initial number of slots; the columns double whenever the free list
+        runs dry, so this is a hint, not a limit.
+    """
+
+    __slots__ = (
+        "_time",
+        "_hop",
+        "_dst",
+        "_free",
+        "_heap",
+        "_seq",
+        "pushed",
+        "popped",
+    )
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._time = np.zeros(capacity, dtype=np.float64)
+        self._hop = np.zeros(capacity, dtype=np.int64)
+        self._dst = np.zeros(capacity, dtype=np.int64)
+        # LIFO free list: slot reuse keeps the hot columns cache-resident.
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        # Entries are (time, seq, slot) or inline (time, seq, hop, dst).
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self.pushed = 0
+        self.popped = 0
+
+    # ------------------------------------------------------------------ sizing
+
+    @property
+    def capacity(self) -> int:
+        """Current number of slots (allocated, not necessarily occupied)."""
+        return len(self._time)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def _grow(self, need: int) -> None:
+        old = len(self._time)
+        new = max(old * 2, old + need)
+        grown_time = np.zeros(new, dtype=np.float64)
+        grown_time[:old] = self._time
+        self._time = grown_time
+        grown_hop = np.zeros(new, dtype=np.int64)
+        grown_hop[:old] = self._hop
+        self._hop = grown_hop
+        grown_dst = np.zeros(new, dtype=np.int64)
+        grown_dst[:old] = self._dst
+        self._dst = grown_dst
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    # ------------------------------------------------------------------- push
+
+    def push(self, time: float, hop: int, dst: int) -> None:
+        """Store one pending arrival ``<hop>`` at ``dst`` occurring at ``time``."""
+        free = self._free
+        if not free:
+            self._grow(1)
+            free = self._free
+        slot = free.pop()
+        self._time[slot] = time
+        self._hop[slot] = hop
+        self._dst[slot] = dst
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, slot))
+        self.pushed += 1
+
+    def push_batch(self, times: np.ndarray, hops, dsts: np.ndarray) -> None:
+        """Store a whole batch of arrivals; columns are written vectorized.
+
+        ``hops`` may be a scalar (every activation sends ``<1>``) or an array
+        aligned with ``times``/``dsts``.  Heap order among the batch follows
+        array order, matching ``len(times)`` sequential :meth:`push` calls.
+        """
+        count = len(times)
+        if count == 0:
+            return
+        free = self._free
+        if len(free) < count:
+            self._grow(count - len(free))
+            free = self._free
+        slots = free[-count:]
+        del free[-count:]
+        index = np.asarray(slots, dtype=np.intp)
+        self._time[index] = times
+        self._hop[index] = hops
+        self._dst[index] = dsts
+        seq = self._seq
+        heap = self._heap
+        push = heapq.heappush
+        for position in range(count):
+            push(heap, (float(times[position]), seq, slots[position]))
+            seq += 1
+        self._seq = seq
+        self.pushed += count
+
+    def push_inline(self, time: float, hop: int, dst: int) -> None:
+        """Store one arrival with the payload inline in the heap tuple.
+
+        No slot is consumed, so this is the cheapest path for scalar sends;
+        see the module docstring for why 4-tuples mix safely with columnar
+        entries.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, hop, dst))
+        self.pushed += 1
+
+    # -------------------------------------------------------------------- pop
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest pending arrival time, or ``None`` when empty."""
+        heap = self._heap
+        return heap[0][0] if heap else None
+
+    def pop(self) -> Tuple[float, int, int]:
+        """Remove and return the earliest arrival as ``(time, hop, dst)``."""
+        entry = heapq.heappop(self._heap)
+        self.popped += 1
+        if len(entry) == 4:
+            return entry[0], entry[2], entry[3]
+        time, _seq, slot = entry
+        hop = int(self._hop[slot])
+        dst = int(self._dst[slot])
+        self._free.append(slot)
+        return time, hop, dst

@@ -26,6 +26,20 @@ event accounting, so the scenarios were migrated:
   ``election_drift_n12`` pin the new default behaviour (including the
   drift-tolerant shared tick driver) explicitly.
 
+Stream migration (vector core)
+------------------------------
+The columnar engine (``repro.core.vector_core``, PR 7) draws from its own
+seed-deterministic numpy streams (``vector/coins``, ``vector/delays``,
+``vector/processing``, ``vector/loss``) instead of replaying the object
+core's per-node Python streams -- one uniform block per activation round is
+the whole point of the vectorization, so event-for-event stream equality is
+*not* a design goal.  The goldens therefore stay pinned to the object core
+and are untouched; the vector core is checked against the object core
+**distributionally** (means of messages / activations / knockouts /
+election time over hundreds of trials, z-scored) and **invariantly**
+(unique leader, agreement, exactly ``n - 1`` knockouts on the clean path)
+in ``tests/test_vector_core.py`` and ``tests/test_property_vector_core.py``.
+
 **Differential mode** -- two arbitrary callables (e.g. the live election
 core and the faithful legacy replica in ``benchmarks/legacy_election_core.py``)
 produce fingerprints that are compared field by field, with a readable diff

@@ -1,0 +1,188 @@
+"""Property-based agreement between the vector and object election cores.
+
+The two engines draw from different random streams (see the stream-migration
+note in ``tests/harness/differential.py``), so the property checked here is
+*semantic* equivalence, not trajectory equality: for every configuration
+Hypothesis generates -- ring size, seed, activation probability, delay
+model, FIFO discipline, faults -- both cores must uphold the election
+contract (at most one leader ever; on the clean path exactly one leader,
+``n - 1`` knockouts and no hop overflows) and classify the run the same way
+where classification is seed-independent (a crashed node partitions a
+unidirectional ring for *any* stream, so both cores must report a
+non-election).
+
+``derandomize`` keeps CI stable, matching the other property suites.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.runner import (
+    build_election_network,
+    run_election,
+    run_election_on_network,
+)
+from repro.core.vector_core import run_vector_election
+from repro.network.delays import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.network.faults import CrashStopFault, FaultInjector, MessageLossFault
+
+
+def _run_object_with_faults(n, *, a0, seed, faults, max_events):
+    """Object-core election with injected faults (the scenario-layer recipe)."""
+    network, status = build_election_network(n, a0=a0, seed=seed)
+    injector = FaultInjector(network)
+    injector.apply(faults)
+    return run_election_on_network(
+        network, status, max_events=max_events, a0=a0
+    )
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ring_sizes = st.integers(min_value=2, max_value=24)
+seeds = st.integers(min_value=0, max_value=2**20)
+a0s = st.floats(min_value=0.01, max_value=0.5, allow_nan=False)
+delays = st.sampled_from(
+    [ExponentialDelay(mean=1.0), UniformDelay(0.1, 2.0), ConstantDelay(1.0)]
+)
+
+
+@SETTINGS
+@given(n=ring_sizes, seed=seeds, a0=a0s, delay=delays)
+def test_clean_path_unique_leader_and_agreement(n, seed, a0, delay):
+    result = run_vector_election(n, a0=a0, delay=delay, seed=seed)
+    assert result.elected
+    assert result.leaders_elected == 1
+    assert 0 <= result.leader_uid < n
+    assert result.knockout_messages == n - 1
+    assert result.hop_overflows == 0
+    # The object core must agree on the contract for the same configuration
+    # (not the same trajectory -- the streams differ by design).
+    reference = run_election(n, a0=a0, delay=delay, seed=seed)
+    assert reference.elected
+    assert reference.leaders_elected == 1
+    assert reference.knockout_messages == n - 1
+
+
+@SETTINGS
+@given(n=ring_sizes, seed=seeds, a0=a0s)
+def test_vector_is_deterministic_per_seed(n, seed, a0):
+    assert run_vector_election(n, a0=a0, seed=seed) == run_vector_election(
+        n, a0=a0, seed=seed
+    )
+
+
+@SETTINGS
+@given(
+    n=st.integers(min_value=3, max_value=16),
+    seed=seeds,
+    loss=st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+)
+def test_message_loss_preserves_safety_in_both_cores(n, seed, loss):
+    vector = run_vector_election(
+        n, a0=0.1, seed=seed, message_loss=loss, max_events=30_000
+    )
+    assert vector.leaders_elected <= 1
+    if vector.elected:
+        assert 0 <= vector.leader_uid < n
+    if loss:
+        reference = _run_object_with_faults(
+            n,
+            a0=0.1,
+            seed=seed,
+            faults=[MessageLossFault(loss_probability=loss)],
+            max_events=30_000,
+        )
+    else:
+        reference = run_election(n, a0=0.1, seed=seed, max_events=30_000)
+    assert reference.leaders_elected <= 1
+
+
+@SETTINGS
+@given(
+    n=st.integers(min_value=3, max_value=16),
+    seed=seeds,
+    crash_index=st.integers(min_value=0, max_value=15),
+)
+def test_initial_crash_partitions_ring_in_both_cores(n, seed, crash_index):
+    uid = crash_index % n
+    vector = run_vector_election(
+        n, a0=0.1, seed=seed, crashes=[(uid, 0.0)], max_events=30_000
+    )
+    reference = _run_object_with_faults(
+        n,
+        a0=0.1,
+        seed=seed,
+        faults=[CrashStopFault(node_uid=uid, crash_time=0.0)],
+        max_events=30_000,
+    )
+    # A node dead from t=0 breaks the unidirectional circuit: no hop count
+    # can reach n, so neither core may crown a leader -- stream-independent.
+    assert not vector.elected
+    assert not reference.elected
+    assert vector.leaders_elected == 0
+    assert reference.leaders_elected == 0
+
+
+@SETTINGS
+@given(
+    n=st.integers(min_value=3, max_value=16),
+    seed=seeds,
+    crash_index=st.integers(min_value=0, max_value=15),
+    crash_time=st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+)
+def test_late_crash_preserves_safety_in_both_cores(n, seed, crash_index, crash_time):
+    # A late crash may or may not abort the election (a token that cleared
+    # the crashing node before crash_time can still complete the circuit),
+    # and whether it does depends on the stream -- so only safety is common.
+    uid = crash_index % n
+    vector = run_vector_election(
+        n, a0=0.1, seed=seed, crashes=[(uid, crash_time)], max_events=30_000
+    )
+    reference = _run_object_with_faults(
+        n,
+        a0=0.1,
+        seed=seed,
+        faults=[CrashStopFault(node_uid=uid, crash_time=crash_time)],
+        max_events=30_000,
+    )
+    assert vector.leaders_elected <= 1
+    assert reference.leaders_elected <= 1
+
+
+@SETTINGS
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    seed=seeds,
+    a0=a0s,
+    fifo=st.booleans(),
+)
+def test_fifo_and_processing_preserve_contract(n, seed, a0, fifo):
+    vector = run_vector_election(
+        n,
+        a0=a0,
+        seed=seed,
+        fifo=fifo,
+        processing_delay=ConstantDelay(value=0.01),
+    )
+    assert vector.elected
+    assert vector.leaders_elected == 1
+    assert vector.knockout_messages == n - 1
+
+
+@SETTINGS
+@given(n=st.integers(min_value=3, max_value=10), seed=st.integers(0, 50))
+def test_purge_ablation_safety_only(n, seed):
+    # Ablation A2: with purging off both cores may legitimately livelock
+    # (every node passive, one token circulating), so liveness cannot be
+    # asserted -- only that no run ever crowns two leaders.
+    result = run_vector_election(
+        n, a0=0.2, seed=seed, purge_at_active=False, max_events=15_000
+    )
+    assert result.leaders_elected <= 1

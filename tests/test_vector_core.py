@@ -1,0 +1,259 @@
+"""Unit tests for the columnar election engine (:mod:`repro.core.vector_core`).
+
+The vector core draws from its own numpy streams (see the stream-migration
+note in ``tests/harness/differential.py``), so these tests check engine
+*semantics* -- determinism, the election invariants, fault handling, budget
+classification and the ``core="vector"`` dispatch contract -- rather than
+event-for-event equality with the object core.  Distributional agreement
+with the object core is covered by ``tests/test_property_vector_core.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import ELECTION_CORES, run_election
+from repro.sim.engine import SimulationDiverged
+from repro.core.vector_core import run_vector_election
+from repro.network.delays import ConstantDelay, ExponentialDelay, UniformDelay
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        first = run_vector_election(32, a0=0.05, seed=7)
+        second = run_vector_election(32, a0=0.05, seed=7)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        results = {
+            (run_vector_election(32, a0=0.05, seed=seed).leader_uid,
+             run_vector_election(32, a0=0.05, seed=seed).election_time)
+            for seed in range(8)
+        }
+        assert len(results) > 1
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("n", [2, 3, 8, 31, 64])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_unique_leader_and_knockouts(self, n, seed):
+        result = run_vector_election(n, a0=0.1, seed=seed)
+        assert result.elected
+        assert result.leaders_elected == 1
+        assert 0 <= result.leader_uid < n
+        # Clean path: every non-leader is knocked out exactly once and no
+        # hop counter ever exceeds n.
+        assert result.knockout_messages == n - 1
+        assert result.hop_overflows == 0
+        assert result.activations >= 1
+        assert result.messages_total >= n
+
+    def test_delay_families(self):
+        for delay in (
+            ConstantDelay(value=1.0),
+            UniformDelay(low=0.5, high=1.5),
+            ExponentialDelay(mean=1.0),
+        ):
+            result = run_vector_election(16, a0=0.05, delay=delay, seed=3)
+            assert result.elected
+            assert result.leaders_elected == 1
+
+    def test_fifo_and_processing_delay(self):
+        result = run_vector_election(
+            16,
+            a0=0.05,
+            seed=5,
+            fifo=True,
+            processing_delay=ConstantDelay(value=0.01),
+        )
+        assert result.elected
+        assert result.leaders_elected == 1
+
+    def test_purge_off_still_at_most_one_leader(self):
+        # Ablation A2: purging disabled can legitimately livelock (all nodes
+        # passive, a token circulating forever), so only safety is asserted.
+        for seed in range(6):
+            result = run_vector_election(
+                8, a0=0.2, seed=seed, purge_at_active=False, max_events=20_000
+            )
+            assert result.leaders_elected <= 1
+
+
+class TestFaults:
+    def test_crash_breaks_unidirectional_ring(self):
+        # A crashed node partitions a unidirectional ring: no message can
+        # complete the circuit, so the election cannot finish.
+        result = run_vector_election(
+            12, a0=0.1, seed=1, crashes=[(2, 1.0)], max_events=50_000
+        )
+        assert not result.elected
+        assert result.leaders_elected == 0
+
+    def test_message_loss_keeps_safety(self):
+        for seed in range(5):
+            result = run_vector_election(
+                12, a0=0.1, seed=seed, message_loss=0.05, max_events=50_000
+            )
+            assert result.leaders_elected <= 1
+            if result.elected:
+                assert 0 <= result.leader_uid < 12
+
+    def test_loss_probability_one_rejected(self):
+        # Same contract as MessageLossFault: certain loss is a config error.
+        with pytest.raises(ValueError, match="message_loss"):
+            run_vector_election(8, message_loss=1.0)
+
+    def test_crash_before_start_excludes_node(self):
+        for seed in range(5):
+            result = run_vector_election(8, a0=0.2, seed=seed, crashes=[(3, 0.0)])
+            assert result.leader_uid != 3
+
+
+class TestBudget:
+    def test_on_budget_stop_truncates(self):
+        result = run_vector_election(
+            64, a0=1e-9, seed=0, max_events=50, on_budget="stop"
+        )
+        assert not result.elected
+
+    def test_on_budget_raise(self):
+        with pytest.raises(SimulationDiverged):
+            run_vector_election(64, a0=1e-9, seed=0, max_events=50, on_budget="raise")
+
+    def test_max_time_truncates(self):
+        result = run_vector_election(64, a0=1e-9, seed=0, max_time=3.0)
+        assert not result.elected
+
+
+class TestRunnerDispatch:
+    def test_cores_registry(self):
+        assert ELECTION_CORES == ("object", "vector")
+
+    def test_vector_core_dispatch_matches_direct_call(self):
+        via_runner = run_election(16, a0=0.05, seed=4, core="vector")
+        direct = run_vector_election(16, a0=0.05, seed=4)
+        assert via_runner == direct
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValueError, match="core must be one of"):
+            run_election(8, core="compiled")
+
+    def test_vector_rejects_clock_bounds(self):
+        with pytest.raises(ValueError, match="clock_bounds"):
+            run_election(8, core="vector", clock_bounds=(0.9, 1.1))
+
+    def test_vector_rejects_drift(self):
+        with pytest.raises(ValueError, match="drift"):
+            run_election(8, core="vector", clock_drift_factory=lambda rng: None)
+
+    def test_vector_rejects_trace(self):
+        with pytest.raises(ValueError, match="trace"):
+            run_election(8, core="vector", enable_trace=True)
+
+    def test_object_core_unchanged_by_default(self):
+        assert run_election(8, a0=0.2, seed=0) == run_election(
+            8, a0=0.2, seed=0, core="object"
+        )
+
+
+class TestScenarioWiring:
+    def test_spec_round_trip_and_default_omission(self):
+        from repro.scenarios.spec import ScenarioSpec, SpecNode
+
+        spec = ScenarioSpec(
+            algorithm="abe-election",
+            topology=SpecNode("uniring", {"n": 16}),
+            core="vector",
+        )
+        data = spec.to_dict()
+        assert data["core"] == "vector"
+        assert ScenarioSpec.from_dict(data).core == "vector"
+        assert "core" not in ScenarioSpec(
+            algorithm="abe-election", topology=SpecNode("uniring", {"n": 16})
+        ).to_dict()
+        with pytest.raises(ValueError, match="core"):
+            ScenarioSpec(
+                algorithm="abe-election",
+                topology=SpecNode("uniring", {"n": 4}),
+                core="gpu",
+            )
+
+    def test_trial_translates_faults(self):
+        from repro.scenarios.runtime import run_scenario
+        from repro.scenarios.spec import ScenarioSpec, SpecNode
+
+        spec = ScenarioSpec(
+            algorithm="abe-election",
+            topology=SpecNode("uniring", {"n": 10}),
+            core="vector",
+            faults=(
+                SpecNode("message-loss", {"loss_probability": 0.05}),
+                SpecNode("crash", {"node_uid": 2, "crash_time": 0.0}),
+            ),
+            trials=2,
+            seed=11,
+        )
+        for result in run_scenario(spec):
+            assert result.leaders_elected <= 1
+            assert not result.elected  # initial crash partitions the ring
+
+    def test_trial_rejects_vector_incompatible_specs(self):
+        from repro.scenarios.runtime import run_scenario
+        from repro.scenarios.spec import ScenarioSpec, SpecNode
+
+        base = dict(
+            algorithm="abe-election", topology=SpecNode("uniring", {"n": 8})
+        )
+        with pytest.raises(ValueError, match="clock_bounds"):
+            run_scenario(
+                ScenarioSpec(core="vector", clock_bounds=(0.8, 1.2), **base)
+            )
+        with pytest.raises(ValueError, match="core"):
+            run_scenario(
+                ScenarioSpec(
+                    algorithm="echo-wave",
+                    topology=SpecNode("uniring", {"n": 8}),
+                    core="vector",
+                )
+            )
+
+    def test_study_scaling_fits(self):
+        from repro.scenarios.report import render_study_scaling, study_scaling_fits
+        from repro.scenarios.runtime import run_study
+        from repro.scenarios.spec import ScenarioSpec, SpecNode, StudySpec
+
+        points = tuple(
+            ScenarioSpec(
+                algorithm="abe-election",
+                topology=SpecNode("uniring", {"n": n}),
+                core="vector",
+                trials=3,
+                seed=9,
+                label=f"n{n}",
+            )
+            for n in (8, 16, 32)
+        )
+        study = StudySpec(name="scaling-smoke", points=points)
+        per_point = run_study(study)
+        fitted = study_scaling_fits(study, per_point)
+        assert fitted is not None
+        assert fitted["sizes"] == [8, 16, 32]
+        assert set(fitted["fits"]) == {"election_time", "messages_total"}
+        text = render_study_scaling(study, per_point)
+        assert "fitted scaling laws" in text
+        assert "best fit" in text
+
+    def test_scaling_fits_none_for_single_size(self):
+        from repro.scenarios.report import study_scaling_fits
+        from repro.scenarios.runtime import run_study
+        from repro.scenarios.spec import ScenarioSpec, SpecNode, StudySpec
+
+        point = ScenarioSpec(
+            algorithm="abe-election",
+            topology=SpecNode("uniring", {"n": 8}),
+            trials=2,
+            seed=1,
+        )
+        study = StudySpec(name="one-size", points=(point,))
+        per_point = run_study(study)
+        assert study_scaling_fits(study, per_point) is None
