@@ -48,6 +48,14 @@ run:
     Wall clock of a multi-size election sweep forking a fresh pool per ring
     size vs reusing one :class:`repro.experiments.parallel.SweepPool`, with
     the bit-identity of the two result sets asserted.
+``result_store``
+    Per-trial journaling cost of both checkpoint backends
+    (:class:`repro.store.JsonlResultStore` append-only JSONL,
+    :class:`repro.store.ResultStore` sqlite): records/sec, lookups/sec, and
+    the second-half/first-half cost ratio over the record stream -- ~1.0
+    means each append is O(1) in journal length (the pre-store journal
+    rewrote the whole file per record, so this ratio grew with N and total
+    bytes were O(N^2)).
 
 Every section also reports ``peak_mem_mb``: the tracemalloc peak of one
 representative workload run.  Tracing slows Python severely, so memory is
@@ -351,6 +359,50 @@ def bench_sweep_pool(sizes: tuple, trials: int, workers: int) -> dict:
     }
 
 
+def bench_result_store(records: int) -> dict:
+    import shutil
+    import tempfile
+
+    from repro.experiments.workloads import ElectionTrial
+    from repro.network.delays import ExponentialDelay
+    from repro.store import CheckpointJournal
+
+    # One representative election result is the payload for every record.
+    payload = ElectionTrial(8, 0.3, ExponentialDelay(mean=1.0), {})(7)
+    half = records // 2
+    seeds = list(range(2 * half))
+    tmp = tempfile.mkdtemp(prefix="bench_result_store_")
+    section: dict = {"records": 2 * half}
+    try:
+        for kind, filename in (("jsonl", "journal.jsonl"), ("sqlite", "store.sqlite")):
+            store = CheckpointJournal(os.path.join(tmp, filename))
+            started = time.perf_counter()
+            for seed in seeds[:half]:
+                store.record("bench", seed, payload)
+            first_half = time.perf_counter() - started
+            started = time.perf_counter()
+            for seed in seeds[half:]:
+                store.record("bench", seed, payload)
+            second_half = time.perf_counter() - started
+            started = time.perf_counter()
+            cached = store.lookup("bench", seeds)
+            lookup_elapsed = time.perf_counter() - started
+            assert len(cached) == len(seeds)
+            section[kind] = {
+                "records_per_sec": round(len(seeds) / (first_half + second_half)),
+                "lookups_per_sec": round(len(seeds) / lookup_elapsed),
+                # ~1.0 = O(1) appends; the pre-store whole-file-rewrite
+                # journal trends toward 3.0 here and grows with N.
+                "second_half_cost_ratio": round(second_half / first_half, 2),
+                "bytes_per_record": round(store.bytes_written / len(seeds), 1),
+            }
+            if hasattr(store.backend, "close"):
+                store.backend.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return section
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="shrunken CI-sized run")
@@ -371,12 +423,14 @@ def main() -> int:
         sampling_n, sampling_trials = 16, 10
         trial_n, trial_count = 16, 12
         sweep_sizes, sweep_trials = (8, 16), 6
+        store_records = 400
     else:
         chain_events, repeats = 150_000, 3
         relay_messages = 40_000
         sampling_n, sampling_trials = 32, 30
         trial_n, trial_count = 32, 48
         sweep_sizes, sweep_trials = (8, 16, 32), 16
+        store_records = 2000
     workers = args.workers if args.workers > 0 else max(4, os.cpu_count() or 1)
 
     print("benchmarking engine ...", flush=True)
@@ -435,6 +489,16 @@ def main() -> int:
         f"shared {sweep_pool['shared_pool_trials_per_sec']}/s "
         f"({sweep_pool['shared_pool_speedup']}x)"
     )
+    print(f"benchmarking result store ({store_records} records) ...", flush=True)
+    result_store = bench_result_store(store_records)
+    for kind in ("jsonl", "sqlite"):
+        numbers = result_store[kind]
+        print(
+            f"  {kind}: {numbers['records_per_sec']:,} records/sec, "
+            f"{numbers['lookups_per_sec']:,} lookups/sec, "
+            f"2nd-half cost {numbers['second_half_cost_ratio']}x "
+            f"({numbers['bytes_per_record']} bytes/record)"
+        )
 
     report = {
         "generated_by": "scripts/bench_report.py",
@@ -449,6 +513,7 @@ def main() -> int:
         "experiments_e2e": experiments_e2e,
         "trials": trials,
         "sweep_pool": sweep_pool,
+        "result_store": result_store,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Installed as the ``abe-repro`` console script.  Four sub-commands:
+Installed as the ``abe-repro`` console script.  Six sub-commands:
 
 ``abe-repro elect``
     Run one leader election on an ABE ring and print the outcome.
@@ -15,6 +15,17 @@ Installed as the ``abe-repro`` console script.  Four sub-commands:
     on any registered topology, no Python required.  See
     ``examples/scenarios/`` and ``docs/SCENARIOS.md``.
 
+``abe-repro serve``
+    The study service (``docs/SERVICE.md``): accept scenario/study spec
+    files (arguments and/or a watched spool directory), dedupe them by
+    fingerprint, run them against one warm worker pool with every trial
+    keyed into a persistent sqlite result store, and export per-job JSON --
+    re-submitting an experiment is a cache hit with zero redundant compute.
+
+``abe-repro migrate``
+    One-shot migration of PR 6 JSONL checkpoint journals into a sqlite
+    result store.
+
 ``abe-repro list``
     List the available experiments with their claims, plus the registered
     scenario algorithms and topologies.
@@ -23,6 +34,7 @@ Installed as the ``abe-repro`` console script.  Four sub-commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -112,6 +124,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="override the spec's base seed"
     )
     add_execution_arguments(scenario)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the study service: spec submissions, warm pool, result store",
+    )
+    serve.add_argument(
+        "jobs",
+        nargs="*",
+        metavar="SPEC",
+        help="scenario/study spec files (JSON) to submit immediately",
+    )
+    serve.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help=(
+            "persistent result store (sqlite); every trial is keyed by "
+            "(spec fingerprint, seed, code version), so re-submitted "
+            "experiments are cache hits"
+        ),
+    )
+    serve.add_argument(
+        "--export",
+        default=None,
+        metavar="DIR",
+        help="write each job's JSON report to DIR/<job>.json",
+    )
+    serve.add_argument(
+        "--watch",
+        default=None,
+        metavar="DIR",
+        help=(
+            "after the argument specs, keep watching DIR and submit every "
+            "*.json spec file dropped into it"
+        ),
+    )
+    serve.add_argument(
+        "--poll",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="watch-mode poll interval (default 2s)",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N watched jobs (default: watch until interrupted)",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="process the current --watch backlog, then exit instead of polling",
+    )
+    add_execution_arguments(serve, checkpoint=False)
+
+    migrate = subparsers.add_parser(
+        "migrate", help="migrate a JSONL checkpoint journal into a sqlite store"
+    )
+    migrate.add_argument("journal", help="source JSONL journal file")
+    migrate.add_argument(
+        "--store", required=True, metavar="PATH", help="destination sqlite store"
+    )
+    migrate.add_argument(
+        "--assume-version",
+        default=None,
+        metavar="VERSION",
+        help=(
+            "stamp version-less (pre-store) journal lines with this code "
+            "version instead of 'unversioned'; pass 'current' for the "
+            "running code's version (only if you know the journal was "
+            "written by behaviourally identical code)"
+        ),
+    )
 
     subparsers.add_parser("list", help="list experiments, algorithms and topologies")
     return parser
@@ -228,6 +315,129 @@ def _command_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_job_report(report) -> str:
+    """Compact per-point stdout table for one served job."""
+    from repro.experiments.reporting import format_table
+    from repro.experiments.results import ResultTable
+
+    table = ResultTable(
+        title=f"job {report.job_id}: {report.name} [{report.status}]",
+        columns=["point", "algorithm", "trials", "failures", "cached", "executed", "metric_mean"],
+    )
+    for point in report.points:
+        metrics = point.summary.get("metrics", {})
+        mean = metrics.get(report.metric, {}).get("mean")
+        table.add_row(
+            point=point.label,
+            algorithm=point.algorithm,
+            trials=point.summary.get("trials"),
+            failures=point.summary.get("failures"),
+            cached=point.hits,
+            executed=point.executed,
+            metric_mean=mean,
+        )
+    lookups = report.lookups
+    table.add_note(f"metric_mean targets {report.metric!r}")
+    table.add_note(
+        f"cache: {report.hits}/{lookups} hit(s), "
+        f"{report.trials_executed} trial(s) executed, {report.elapsed:.2f}s"
+    )
+    if report.duplicate_of is not None:
+        table.add_note(f"duplicate of job {report.duplicate_of} (not re-executed)")
+    return format_table(table)
+
+
+def _serve_drain(service, args) -> int:
+    """Run pending jobs, print tables, export; returns the job count."""
+    reports = service.run_pending()
+    for report in reports:
+        print(_render_job_report(report))
+        if args.export is not None:
+            path = service.export(report, args.export)
+            print(f"exported: {path}")
+    return len(reports)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.scenarios import load_spec
+    from repro.store.result_store import ResultStore
+    from repro.store.service import StudyService
+
+    if not args.jobs and args.watch is None:
+        raise SystemExit("serve needs spec files to submit and/or --watch DIR")
+    workers, adaptive, policy = execution_from_args(args)
+    store = ResultStore(
+        args.store, allow_stale=bool(getattr(args, "allow_stale_cache", False))
+    )
+    progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
+
+    def submit_file(service, path) -> bool:
+        try:
+            spec = load_spec(path)
+            service.submit(spec, source=str(path))
+            return True
+        except (OSError, ValueError, TypeError) as error:
+            print(f"error: {path}: {error}", file=sys.stderr)
+            return False
+
+    exit_code = 0
+    processed = 0
+    with store, StudyService(
+        store,
+        workers=workers if workers is not None else 1,
+        adaptive=adaptive,
+        policy=policy,
+        progress=progress,
+    ) as service:
+        for path in args.jobs:
+            if not submit_file(service, path):
+                exit_code = 1
+        processed += _serve_drain(service, args)
+        if args.watch is not None:
+            seen = set()
+            try:
+                while True:
+                    try:
+                        names = sorted(os.listdir(args.watch))
+                    except OSError as error:
+                        raise SystemExit(f"--watch {args.watch}: {error}") from None
+                    for name in names:
+                        if not name.endswith(".json") or name in seen:
+                            continue
+                        seen.add(name)
+                        if not submit_file(service, os.path.join(args.watch, name)):
+                            exit_code = 1
+                    processed += _serve_drain(service, args)
+                    if args.once:
+                        break
+                    if args.max_jobs is not None and processed >= args.max_jobs:
+                        break
+                    time.sleep(args.poll)
+            except KeyboardInterrupt:
+                print(f"interrupted after {processed} job(s)", file=sys.stderr)
+    _report_failures(policy)
+    return exit_code
+
+
+def _command_migrate(args: argparse.Namespace) -> int:
+    from repro.store.fingerprint import code_version
+    from repro.store.migrate import migrate_journal
+    from repro.store.result_store import ResultStore
+
+    assume = args.assume_version
+    if assume == "current":
+        assume = code_version()
+    try:
+        with ResultStore(args.store) as store:
+            report = migrate_journal(args.journal, store, assume_version=assume)
+    except OSError as error:
+        raise SystemExit(str(error)) from None
+    print(report.summary())
+    return 0
+
+
 def _command_list() -> int:
     from repro.scenarios import ALGORITHMS, TOPOLOGIES
 
@@ -253,6 +463,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_experiment(args)
     if args.command == "scenario":
         return _command_scenario(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "migrate":
+        return _command_migrate(args)
     if args.command == "list":
         return _command_list()
     parser.print_help()

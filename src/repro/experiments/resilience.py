@@ -32,13 +32,17 @@ Three cooperating pieces answer these failure modes:
     :class:`TrialFailure` entries instead of raising mid-study.
 
 :class:`CheckpointJournal`
-    An append-only JSONL journal keyed by ``(fingerprint, seed)`` with atomic
-    tmp+rename writes, consulted by every ``monte_carlo`` flavour through
+    A persistent result store keyed by ``(fingerprint, seed, code_version)``,
+    consulted by every ``monte_carlo`` flavour through
     :func:`checkpointed_trials`: a resumed study skips completed trials and
     reproduces the aggregate results bit for bit, because the journal stores
     the exact trial results (dataclasses round-trip field-for-field through
     JSON) and the seed discipline makes the remaining trials independent of
-    the ones already done.
+    the ones already done.  The storage layer itself (append-only JSONL and
+    sqlite backends, fingerprint discipline, code-version gating, the
+    ``abe-repro serve`` study service) lives in :mod:`repro.store`; this
+    module re-exports the journal and fingerprint names it introduced in
+    PR 6 so existing imports keep working.
 
 :class:`ExecutionPolicy` / :func:`active_policy`
     The ambient execution contract.  Entry points (``abe-repro experiment``,
@@ -58,20 +62,19 @@ See ``docs/ROBUSTNESS.md`` for the full failure model.
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
-import importlib
-import json
 import multiprocessing
-import os
-import pickle
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.store.codec import decode_result, encode_result
+from repro.store.fingerprint import callable_fingerprint, spec_fingerprint
+from repro.store.journal import JOURNAL_DISABLED, CheckpointJournal
+
 __all__ = [
     "CheckpointJournal",
+    "JOURNAL_DISABLED",
     "ExecutionPolicy",
     "ForkPoolManager",
     "TrialFailure",
@@ -244,223 +247,19 @@ def active_policy(policy: Optional[ExecutionPolicy]) -> Iterator[Optional[Execut
         _ACTIVE_POLICY = previous
 
 
-# ================================================================ fingerprints
-
-
-def spec_fingerprint(spec: Any) -> str:
-    """Content-addressable key of a :class:`~repro.scenarios.spec.ScenarioSpec`.
-
-    The SHA-256 of the spec's canonical JSON form minus the two fields that
-    cannot change per-seed results: ``workers`` (execution is bit-identical
-    for any worker count) and ``stopping`` (adaptive rules choose *which*
-    derived seeds run, never what any seed produces).  Resuming a checkpointed
-    study with a different worker count or stopping rule therefore still hits
-    the journal.
-    """
-    data = spec.to_dict()
-    data.pop("workers", None)
-    data.pop("stopping", None)
-    # Overrides may carry live runtime objects (e.g. a delay-model instance);
-    # ``default=repr`` keeps the fingerprint total.  Dataclass reprs are
-    # stable across runs, so resume still works; anything with an
-    # address-bearing repr merely misses the journal (re-run, never wrong).
-    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"), default=repr)
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
-def callable_fingerprint(run_one: Any, base_seed: int, label: str) -> Optional[str]:
-    """Journal key for a raw trial callable (no declarative spec available).
-
-    Hashes the pickled callable (configuration travels inside it -- e.g.
-    :class:`~repro.experiments.workloads.ElectionTrial` carries ring size,
-    ``a0`` and the delay model) together with the seed family.  Returns
-    ``None`` -- journaling is skipped, never wrong -- when the callable does
-    not pickle (fork-only closures).
-    """
-    try:
-        blob = pickle.dumps(run_one, protocol=4)
-    except Exception:
-        return None
-    digest = hashlib.sha256(blob)
-    digest.update(repr((base_seed, label)).encode("utf-8"))
-    return digest.hexdigest()
-
-
-# ==================================================== result (de)serialization
-
-
-def encode_result(value: Any) -> Any:
-    """Encode one trial result as a JSON-able document.
-
-    Supports the closed set of shapes trial runners return: primitives,
-    lists, string-keyed dicts, tuples, and dataclasses of those (e.g.
-    :class:`~repro.core.runner.ElectionResult`).  Floats round-trip exactly
-    (JSON carries the shortest-repr form), which is what makes resumed
-    aggregates bit-identical.  Raises ``TypeError`` for anything else, which
-    callers treat as "this result is not journalable".
-    """
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        cls = type(value)
-        return {
-            "__kind__": "dataclass",
-            "type": f"{cls.__module__}:{cls.__qualname__}",
-            "fields": {
-                f.name: encode_result(getattr(value, f.name))
-                for f in dataclasses.fields(value)
-            },
-        }
-    if isinstance(value, tuple):
-        return {"__kind__": "tuple", "items": [encode_result(item) for item in value]}
-    if isinstance(value, list):
-        return [encode_result(item) for item in value]
-    if isinstance(value, dict):
-        if "__kind__" in value or not all(isinstance(key, str) for key in value):
-            raise TypeError(f"cannot journal dict with non-string or reserved keys: {value!r}")
-        return {key: encode_result(item) for key, item in value.items()}
-    raise TypeError(f"cannot journal result of type {type(value).__name__}")
-
-
-def decode_result(payload: Any) -> Any:
-    """Inverse of :func:`encode_result`."""
-    if isinstance(payload, list):
-        return [decode_result(item) for item in payload]
-    if isinstance(payload, dict):
-        kind = payload.get("__kind__")
-        if kind == "tuple":
-            return tuple(decode_result(item) for item in payload["items"])
-        if kind == "dataclass":
-            module_name, _, qualname = payload["type"].partition(":")
-            target: Any = importlib.import_module(module_name)
-            for part in qualname.split("."):
-                target = getattr(target, part)
-            if not dataclasses.is_dataclass(target):
-                raise ValueError(f"journal names a non-dataclass type {payload['type']!r}")
-            fields = {key: decode_result(item) for key, item in payload["fields"].items()}
-            return target(**fields)
-        if kind is not None:
-            raise ValueError(f"unknown journal payload kind {kind!r}")
-        return {key: decode_result(item) for key, item in payload.items()}
-    return payload
-
-
-# =========================================================== checkpoint journal
-
-
-class CheckpointJournal:
-    """Append-only JSONL journal of completed trials, keyed by (key, seed).
-
-    One line per completed trial::
-
-        {"key": "<fingerprint>", "seed": 123, "result": {...}}
-
-    ``key`` is a :func:`spec_fingerprint` (declarative runs) or a
-    :func:`callable_fingerprint` (raw ``monte_carlo`` calls), so one journal
-    file can serve a whole study -- every point disambiguates itself.  Writes
-    are atomic (full content to ``<path>.tmp`` in the same directory, then
-    ``os.replace``), so the on-disk file is a complete, valid JSONL document
-    after every record and a crash can never leave a torn line behind.
-
-    Parameters
-    ----------
-    path:
-        Journal file location.
-    resume:
-        ``True`` loads previously completed trials (missing file = empty
-        journal); ``False`` starts a fresh journal, atomically replacing any
-        existing file.
-    """
-
-    def __init__(self, path: Any, resume: bool = False) -> None:
-        self.path = str(path)
-        self.resume = bool(resume)
-        self._entries: Dict[Tuple[str, int], Any] = {}
-        if self.resume:
-            self._load()
-        else:
-            self._flush()
-
-    # --------------------------------------------------------------- storage
-
-    def _load(self) -> None:
-        if not os.path.exists(self.path):
-            self._flush()
-            return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    key = record["key"]
-                    seed = record["seed"]
-                    payload = record["result"]
-                except (ValueError, KeyError, TypeError):
-                    # A torn or foreign line: everything before it is intact
-                    # (writes are atomic whole-file replacements), so stop --
-                    # the affected trials simply re-run.
-                    break
-                self._entries[(str(key), int(seed))] = payload
-
-    def _flush(self) -> None:
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        tmp_path = self.path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            for (key, seed), payload in self._entries.items():
-                handle.write(
-                    json.dumps(
-                        {"key": key, "seed": seed, "result": payload}, sort_keys=True
-                    )
-                    + "\n"
-                )
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, self.path)
-
-    # ------------------------------------------------------------------- api
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key_seed: Tuple[str, int]) -> bool:
-        return (str(key_seed[0]), int(key_seed[1])) in self._entries
-
-    def lookup(self, key: str, seeds: Sequence[int]) -> Dict[int, Any]:
-        """Decoded results for the given seeds already completed under ``key``."""
-        found: Dict[int, Any] = {}
-        for seed in seeds:
-            payload = self._entries.get((key, seed))
-            if payload is not None:
-                found[seed] = decode_result(payload)
-        return found
-
-    def record(self, key: str, seed: int, result: Any) -> bool:
-        """Journal one completed trial; returns whether it was written."""
-        return self.record_many(key, [(seed, result)]) > 0
-
-    def record_many(self, key: str, pairs: Sequence[Tuple[int, Any]]) -> int:
-        """Journal a batch of ``(seed, result)`` pairs in one atomic write."""
-        written = 0
-        for seed, result in pairs:
-            if (key, seed) in self._entries:
-                continue
-            try:
-                payload = encode_result(result)
-            except TypeError:
-                continue  # unjournalable result: run it again next time
-            self._entries[(key, seed)] = payload
-            written += 1
-        if written:
-            self._flush()
-        return written
+# ======================================================== checkpoint resolution
+#
+# The journal/store machinery itself (codec, fingerprints, CheckpointJournal,
+# ResultStore, migration, the serve-mode service) lives in ``repro.store``;
+# the names historically defined here -- spec_fingerprint,
+# callable_fingerprint, encode_result, decode_result, CheckpointJournal --
+# are re-exported above.  What remains here is the execution-side funnel:
+# which store and key a given Monte-Carlo call should consult.
 
 
 def resolve_checkpoint(
     checkpoint: Optional[CheckpointJournal],
-    checkpoint_key: Optional[str],
+    checkpoint_key: Any,
     run_one: Any,
     base_seed: int,
     label: str,
@@ -469,8 +268,14 @@ def resolve_checkpoint(
 
     Explicit arguments win; otherwise the ambient policy's journal applies
     with a :func:`callable_fingerprint` key.  Either piece missing disables
-    journaling for the call (never guesses a key).
+    journaling for the call (never guesses a key).  Callers that positively
+    know their workload has no canonical fingerprint (``spec_fingerprint``
+    returned ``None``) pass :data:`~repro.store.journal.JOURNAL_DISABLED` as
+    the key, which disables journaling *without* falling back to a callable
+    fingerprint -- the spec layer's refusal is authoritative.
     """
+    if checkpoint_key is JOURNAL_DISABLED:
+        return None, None
     journal = checkpoint
     if journal is None:
         policy = current_policy()

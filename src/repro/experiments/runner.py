@@ -247,15 +247,18 @@ def add_adaptive_stopping_arguments(parser: Any) -> None:
     )
 
 
-def add_execution_arguments(parser: Any, workers_default: Optional[int] = None) -> None:
+def add_execution_arguments(
+    parser: Any, workers_default: Optional[int] = None, checkpoint: bool = True
+) -> None:
     """Install the shared execution flags: ``--workers``, the adaptive trio,
-    and the resilience quartet (``--trial-timeout``/``--retries``/
-    ``--checkpoint``/``--resume``).
+    the resilience quartet (``--trial-timeout``/``--retries``/
+    ``--checkpoint``/``--resume``) and ``--allow-stale-cache``.
 
     The one wiring point for every trial-running entry point (``abe-repro
-    experiment``, ``abe-repro scenario`` and
+    experiment``, ``abe-repro scenario``, ``abe-repro serve`` and
     ``scripts/run_all_experiments.py``), so their execution flags cannot
-    drift apart.
+    drift apart.  ``checkpoint=False`` omits ``--checkpoint``/``--resume``
+    for entry points with their own persistent store (``serve``).
     """
     from repro.experiments.parallel import worker_count_argument  # late: avoids cycle
 
@@ -291,23 +294,35 @@ def add_execution_arguments(parser: Any, workers_default: Optional[int] = None) 
             "functions of their seeds)"
         ),
     )
+    if checkpoint:
+        parser.add_argument(
+            "--checkpoint",
+            type=str,
+            default=None,
+            metavar="PATH",
+            help=(
+                "journal completed trials to this file (append-only JSONL, or "
+                "a persistent sqlite store for *.sqlite/*.db paths) so a "
+                "killed study can be resumed with --resume"
+            ),
+        )
+        parser.add_argument(
+            "--resume",
+            action="store_true",
+            help=(
+                "resume from the --checkpoint journal: completed (fingerprint, "
+                "seed) trials are skipped and the aggregate output is "
+                "bit-identical to an uninterrupted run"
+            ),
+        )
     parser.add_argument(
-        "--checkpoint",
-        type=str,
-        default=None,
-        metavar="PATH",
-        help=(
-            "journal completed trials to this JSONL file (atomic writes) so "
-            "a killed study can be resumed with --resume"
-        ),
-    )
-    parser.add_argument(
-        "--resume",
+        "--allow-stale-cache",
         action="store_true",
         help=(
-            "resume from the --checkpoint journal: completed (fingerprint, "
-            "seed) trials are skipped and the aggregate output is "
-            "bit-identical to an uninterrupted run"
+            "also reuse cached results recorded under a different code "
+            "version (by default they are ignored with a note, because "
+            "results from different code must never be mixed into one "
+            "aggregate)"
         ),
     )
 
@@ -350,7 +365,11 @@ def execution_policy_from_args(args: Any) -> Optional[ExecutionPolicy]:
     if retries is None:
         retries = 2 if timeout is not None else 0
     journal = (
-        CheckpointJournal(checkpoint_path, resume=resume)
+        CheckpointJournal(
+            checkpoint_path,
+            resume=resume,
+            allow_stale=bool(getattr(args, "allow_stale_cache", False)),
+        )
         if checkpoint_path is not None
         else None
     )

@@ -68,19 +68,26 @@ def run_scenario(
         Receives ``trials_executed``/``stopped_early`` under adaptive
         stopping.
     checkpoint:
-        Optional :class:`~repro.experiments.resilience.CheckpointJournal`
-        (defaults to the ambient policy's).  Trials are keyed by
-        ``(spec fingerprint, seed)`` -- the fingerprint is content-derived
-        from the spec minus its execution-only fields, so a resumed study
-        with a different worker count still hits the journal and produces
-        bit-identical results.
+        Optional :class:`~repro.experiments.resilience.CheckpointJournal` or
+        :class:`~repro.store.ResultStore` (defaults to the ambient policy's
+        journal).  Trials are keyed by ``(spec fingerprint, seed)`` -- the
+        fingerprint is content-derived from the spec minus its
+        execution-only fields, so a resumed study with a different worker
+        count still hits the journal and produces bit-identical results.
+        A spec that refuses a canonical fingerprint (an override whose repr
+        carries a memory address -- a per-process key that could never hit)
+        runs unjournaled.
     """
-    from repro.experiments.resilience import spec_fingerprint  # late: avoids cycle
+    from repro.experiments.resilience import JOURNAL_DISABLED, spec_fingerprint
     from repro.experiments.runner import monte_carlo  # late: avoids cycle
 
     entry: AlgorithmEntry = ALGORITHMS.get(spec.algorithm)
     run_one = entry.build_trial(spec)
     fingerprint = spec_fingerprint(spec)
+    if fingerprint is None:
+        # The spec layer's refusal is authoritative: never fall back to a
+        # callable fingerprint for a spec-described workload.
+        fingerprint = JOURNAL_DISABLED
     if entry.one_shot:
         if spec.trials != 1:
             raise ValueError(
@@ -119,7 +126,7 @@ def run_scenario(
 
 
 def _checkpointed_one_shot(
-    spec: ScenarioSpec, run_one: Any, fingerprint: str, checkpoint: Optional[Any]
+    spec: ScenarioSpec, run_one: Any, fingerprint: Any, checkpoint: Optional[Any]
 ) -> List[Any]:
     """One-shot points consume the raw spec seed; journal them under it."""
     from repro.experiments.resilience import checkpointed_trials, resolve_checkpoint
@@ -191,7 +198,9 @@ def _checkpointed_point_map(
     Each point is keyed by ``(its own fingerprint, its seed)``, looked up
     before dispatch, and the missing points are fanned out together (one
     ``map``, preserving the no-journal dispatch shape) then journaled.
-    Failed placeholders are never journaled, so a resume re-attempts them.
+    Failed placeholders are never journaled, so a resume re-attempts them;
+    points whose spec refuses a canonical fingerprint always run and are
+    never journaled.
     """
     from repro.experiments.resilience import TrialFailure, spec_fingerprint
 
@@ -199,7 +208,7 @@ def _checkpointed_point_map(
     results: List[Any] = [None] * len(points)
     missing: List[int] = []
     for index, (point, key) in enumerate(zip(points, keys)):
-        cached = journal.lookup(key, [point.seed])
+        cached = journal.lookup(key, [point.seed]) if key is not None else {}
         if point.seed in cached:
             results[index] = cached[point.seed]
         else:
@@ -208,6 +217,6 @@ def _checkpointed_point_map(
         fresh = shared.map(_run_one_shot, [points[index] for index in missing])
         for index, result in zip(missing, fresh):
             results[index] = result
-            if not isinstance(result, TrialFailure):
+            if keys[index] is not None and not isinstance(result, TrialFailure):
                 journal.record(keys[index], points[index].seed, result)
     return [[result] for result in results]

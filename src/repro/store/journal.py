@@ -1,0 +1,263 @@
+"""The ``--checkpoint`` journal: append-only JSONL, or sqlite by suffix.
+
+:class:`CheckpointJournal` keeps the exact constructor and method surface it
+had in PR 6 (``monte_carlo`` / ``run_scenario`` / ``run_study`` /
+``SweepPool`` resume paths are unchanged byte for byte) but is now a thin
+adapter over two backends:
+
+* :class:`JsonlResultStore` -- the default, one JSON line per completed
+  trial.  Unlike the PR 6 implementation (which *rewrote and fsynced the
+  whole file on every record*, despite its "append-only" docstring -- an
+  O(n^2) total-bytes flaw), recording now appends exactly the new lines and
+  fsyncs them; the only full write left is the fresh-start truncation.
+* :class:`~repro.store.result_store.ResultStore` -- chosen automatically for
+  ``*.sqlite`` / ``*.sqlite3`` / ``*.db`` paths.
+
+Both backends stamp every record with the current
+:func:`~repro.store.fingerprint.code_version` and ignore entries recorded
+under a different version (stderr note; ``allow_stale=True`` overrides), so
+resuming after a behaviour-changing code change re-runs trials instead of
+silently mixing stale results into aggregates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.store import fingerprint as _fingerprint
+from repro.store.codec import decode_result, encode_result
+from repro.store.result_store import ResultStore, _stale_note
+
+__all__ = ["CheckpointJournal", "JOURNAL_DISABLED", "JsonlResultStore"]
+
+
+class _JournalDisabled:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<JOURNAL_DISABLED>"
+
+
+#: Passed as ``checkpoint_key`` by callers that *positively know* the
+#: workload has no canonical fingerprint (e.g. a spec override with an
+#: address-bearing repr).  ``resolve_checkpoint`` short-circuits on it so no
+#: fallback key is guessed -- journaling is skipped, never wrong.
+JOURNAL_DISABLED = _JournalDisabled()
+
+
+class JsonlResultStore:
+    """Append-only JSONL trial-result store, keyed by ``(key, seed)``.
+
+    One line per completed trial::
+
+        {"key": "<fingerprint>", "result": {...}, "seed": 123, "version": "1.0.0+gab12cd34ef56"}
+
+    ``key`` is a :func:`~repro.store.fingerprint.spec_fingerprint`
+    (declarative runs) or a
+    :func:`~repro.store.fingerprint.callable_fingerprint` (raw
+    ``monte_carlo`` calls), so one journal file can serve a whole study --
+    every point disambiguates itself.  Records are appended and fsynced, so
+    journaling N trials writes O(N) total bytes; a crash can tear at most
+    the line being appended, and loading skips unparsable or foreign lines
+    individually (everything else in the file stays usable).
+
+    Parameters
+    ----------
+    path:
+        Journal file location.
+    resume:
+        ``True`` loads previously completed trials (missing file = empty
+        journal); ``False`` starts a fresh journal, atomically truncating any
+        existing file.
+    allow_stale:
+        Serve entries recorded under other code versions too (current-version
+        entries still win).  Off by default: stale entries are counted,
+        noted on stderr, and re-recorded under the current version when
+        their trials re-run.
+    """
+
+    kind = "jsonl"
+
+    def __init__(self, path: Any, resume: bool = False, allow_stale: bool = False) -> None:
+        self.path = str(path)
+        self.resume = bool(resume)
+        self.allow_stale = bool(allow_stale)
+        self.version = _fingerprint.code_version()
+        self._entries: Dict[Tuple[str, int], Any] = {}
+        self._stale: Dict[Tuple[str, int], Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.bytes_written = 0
+        self.stale_ignored = 0
+        self.skipped_lines = 0
+        if self.resume:
+            self._load()
+        else:
+            self._truncate()
+
+    # --------------------------------------------------------------- storage
+
+    def _truncate(self) -> None:
+        """Fresh start: the one remaining whole-file write."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            self._truncate()
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = str(record["key"])
+                    seed = int(record["seed"])
+                    payload = record["result"]
+                except (ValueError, KeyError, TypeError):
+                    # A torn tail or a foreign line.  Appends are strictly
+                    # sequential, so no later line depends on this one: skip
+                    # it and keep reading (the affected trials just re-run).
+                    self.skipped_lines += 1
+                    continue
+                if record.get("version") == self.version:
+                    self._entries[(key, seed)] = payload
+                elif self.allow_stale:
+                    self._stale[(key, seed)] = payload
+                else:
+                    self.stale_ignored += 1
+        if self.stale_ignored:
+            _stale_note(self.path, self.stale_ignored, self.version)
+
+    # ------------------------------------------------------------------- api
+
+    def __len__(self) -> int:
+        return len(self._entries) + sum(
+            1 for key_seed in self._stale if key_seed not in self._entries
+        )
+
+    def __contains__(self, key_seed: Tuple[str, int]) -> bool:
+        key_seed = (str(key_seed[0]), int(key_seed[1]))
+        return key_seed in self._entries or key_seed in self._stale
+
+    def lookup(self, key: str, seeds: Sequence[int]) -> Dict[int, Any]:
+        """Decoded results for the given seeds already completed under ``key``."""
+        found: Dict[int, Any] = {}
+        for seed in seeds:
+            payload = self._entries.get((key, seed))
+            if payload is None:
+                payload = self._stale.get((key, seed))
+            if payload is not None:
+                found[seed] = decode_result(payload)
+        self.hits += len(found)
+        self.misses += len(seeds) - len(found)
+        return found
+
+    def record(self, key: str, seed: int, result: Any) -> bool:
+        """Journal one completed trial; returns whether it was written."""
+        return self.record_many(key, [(seed, result)]) > 0
+
+    def record_many(self, key: str, pairs: Sequence[Tuple[int, Any]]) -> int:
+        """Journal a batch of ``(seed, result)`` pairs in one append+fsync.
+
+        Cost is O(batch): only the new lines are written, never the file.
+        """
+        lines: List[str] = []
+        for seed, result in pairs:
+            if (key, seed) in self:
+                continue
+            try:
+                payload = encode_result(result)
+            except TypeError:
+                continue  # unjournalable result: run it again next time
+            self._entries[(key, int(seed))] = payload
+            lines.append(
+                json.dumps(
+                    {"key": key, "seed": seed, "result": payload, "version": self.version},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        if not lines:
+            return 0
+        data = "".join(lines)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.bytes_written += len(data.encode("utf-8"))
+        return len(lines)
+
+
+class CheckpointJournal:
+    """The ``--checkpoint`` entry point: a thin adapter over a store backend.
+
+    Construction is exactly the PR 6 signature plus ``allow_stale``; the
+    backend is chosen from the path suffix (``*.sqlite`` / ``*.sqlite3`` /
+    ``*.db`` open a persistent :class:`~repro.store.result_store.ResultStore`,
+    anything else the append-only :class:`JsonlResultStore`).  All resume
+    entry points -- ``monte_carlo``, ``run_scenario``, ``run_study``,
+    ``SweepPool`` -- talk only to the shared ``lookup`` / ``record`` /
+    ``record_many`` surface, so they are unchanged byte for byte.
+    """
+
+    _SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+    def __init__(self, path: Any, resume: bool = False, allow_stale: bool = False) -> None:
+        self.path = str(path)
+        self.resume = bool(resume)
+        self.allow_stale = bool(allow_stale)
+        if self.path.endswith(self._SQLITE_SUFFIXES):
+            self.backend: Union[ResultStore, JsonlResultStore] = ResultStore(
+                self.path, fresh=not resume, allow_stale=allow_stale
+            )
+        else:
+            self.backend = JsonlResultStore(self.path, resume=resume, allow_stale=allow_stale)
+
+    # ------------------------------------------------------------- delegation
+
+    def __len__(self) -> int:
+        return len(self.backend)
+
+    def __contains__(self, key_seed: Tuple[str, int]) -> bool:
+        return key_seed in self.backend
+
+    def lookup(self, key: str, seeds: Sequence[int]) -> Dict[int, Any]:
+        return self.backend.lookup(key, seeds)
+
+    def record(self, key: str, seed: int, result: Any) -> bool:
+        return self.backend.record(key, seed, result)
+
+    def record_many(self, key: str, pairs: Sequence[Tuple[int, Any]]) -> int:
+        return self.backend.record_many(key, pairs)
+
+    @property
+    def kind(self) -> str:
+        return self.backend.kind
+
+    @property
+    def version(self) -> str:
+        return self.backend.version
+
+    @property
+    def hits(self) -> int:
+        return self.backend.hits
+
+    @property
+    def misses(self) -> int:
+        return self.backend.misses
+
+    @property
+    def bytes_written(self) -> int:
+        return self.backend.bytes_written
+
+    @property
+    def stale_ignored(self) -> int:
+        return self.backend.stale_ignored

@@ -1,0 +1,233 @@
+"""Sqlite-backed persistent result store with O(1) appends.
+
+The schema is one table::
+
+    results(key TEXT, seed INTEGER, version TEXT, payload TEXT, created_at REAL,
+            PRIMARY KEY (key, seed, version))
+
+``key`` is a :func:`~repro.store.fingerprint.spec_fingerprint` or
+:func:`~repro.store.fingerprint.callable_fingerprint`, ``seed`` the derived
+trial seed, ``version`` the :func:`~repro.store.fingerprint.code_version`
+stamp, ``payload`` the :func:`~repro.store.codec.encode_result` JSON.  The
+primary key makes recording idempotent (``INSERT OR IGNORE``), and each
+``record_many`` is one transaction over just the new rows -- cost is
+proportional to the batch, never to the store size.
+
+Lookups are filtered to the current code version; rows recorded under a
+different version are *ignored with a stderr note* (results from different
+code must never be mixed into one aggregate) unless the store was opened
+with ``allow_stale=True`` (the ``--allow-stale-cache`` escape hatch, for
+consciously reusing results across a version bump that did not change
+behaviour).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import sys
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.store import fingerprint as _fingerprint
+from repro.store.codec import decode_result, encode_result
+
+__all__ = ["ResultStore"]
+
+#: sqlite bind-parameter budget per query (the historical hard limit is 999).
+_CHUNK = 500
+
+
+def _stale_note(path: str, ignored: int, current: str) -> None:
+    print(
+        f"note: {path}: ignoring {ignored} cached result(s) recorded under a "
+        f"different code version than the current {current!r}; "
+        "pass --allow-stale-cache to reuse them",
+        file=sys.stderr,
+    )
+
+
+class ResultStore:
+    """Persistent ``(key, seed, code_version)``-keyed trial-result store.
+
+    Implements the same ``lookup`` / ``record`` / ``record_many`` /
+    ``__len__`` / ``__contains__`` surface as the PR 6 journal, so every
+    Monte-Carlo resume path (``monte_carlo``, ``run_scenario``, ``run_study``,
+    ``SweepPool``) accepts a store wherever it accepted a journal.
+
+    Parameters
+    ----------
+    path:
+        Database file location (created with parents if missing).
+    fresh:
+        ``True`` discards any existing content first (the ``--checkpoint``
+        without ``--resume`` semantics); default keeps everything -- a store
+        is a cache, accumulating results across runs is its purpose.
+    allow_stale:
+        Serve results recorded under other code versions too (current-version
+        rows still win when both exist).  Off by default.
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: Any, fresh: bool = False, allow_stale: bool = False) -> None:
+        self.path = str(path)
+        self.allow_stale = bool(allow_stale)
+        self.version = _fingerprint.code_version()
+        #: Lookup counters (reset never; snapshot deltas for per-run stats).
+        self.hits = 0
+        self.misses = 0
+        #: Payload bytes appended this process (for the O(1)-append bench).
+        self.bytes_written = 0
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        if fresh and os.path.exists(self.path):
+            os.remove(self.path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " key TEXT NOT NULL,"
+            " seed INTEGER NOT NULL,"
+            " version TEXT NOT NULL,"
+            " payload TEXT NOT NULL,"
+            " created_at REAL NOT NULL,"
+            " PRIMARY KEY (key, seed, version))"
+        )
+        self._conn.commit()
+        self.stale_ignored = self._count_other_versions()
+        if self.stale_ignored and not self.allow_stale:
+            _stale_note(self.path, self.stale_ignored, self.version)
+
+    # --------------------------------------------------------------- plumbing
+
+    def _count_other_versions(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM results WHERE version != ?", (self.version,)
+        ).fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -------------------------------------------------------------------- api
+
+    def __len__(self) -> int:
+        if self.allow_stale:
+            row = self._conn.execute(
+                "SELECT COUNT(DISTINCT key || '/' || seed) FROM results"
+            ).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM results WHERE version = ?", (self.version,)
+            ).fetchone()
+        return int(row[0])
+
+    def __contains__(self, key_seed: Tuple[str, int]) -> bool:
+        key, seed = str(key_seed[0]), int(key_seed[1])
+        if self.allow_stale:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE key = ? AND seed = ? LIMIT 1", (key, seed)
+            ).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE key = ? AND seed = ? AND version = ? LIMIT 1",
+                (key, seed, self.version),
+            ).fetchone()
+        return row is not None
+
+    def lookup(self, key: str, seeds: Sequence[int]) -> Dict[int, Any]:
+        """Decoded results for the given seeds already completed under ``key``.
+
+        Current-version rows only, unless ``allow_stale`` -- and even then a
+        current-version row always wins over a stale one for the same seed.
+        """
+        seeds = [int(seed) for seed in seeds]
+        current: Dict[int, Any] = {}
+        stale: Dict[int, Any] = {}
+        for start in range(0, len(seeds), _CHUNK):
+            chunk = seeds[start : start + _CHUNK]
+            marks = ",".join("?" * len(chunk))
+            rows = self._conn.execute(
+                f"SELECT seed, version, payload FROM results"
+                f" WHERE key = ? AND seed IN ({marks})",
+                [key, *chunk],
+            )
+            for seed, version, payload in rows:
+                if version == self.version:
+                    current[seed] = payload
+                elif self.allow_stale and seed not in stale:
+                    stale[seed] = payload
+        found: Dict[int, Any] = {}
+        for seed in seeds:
+            payload = current.get(seed)
+            if payload is None and self.allow_stale:
+                payload = stale.get(seed)
+            if payload is not None:
+                found[seed] = decode_result(json.loads(payload))
+        self.hits += len(found)
+        self.misses += len(seeds) - len(found)
+        return found
+
+    def record(self, key: str, seed: int, result: Any) -> bool:
+        """Store one completed trial; returns whether a new row was written."""
+        return self.record_many(key, [(seed, result)]) > 0
+
+    def record_many(self, key: str, pairs: Sequence[Tuple[int, Any]]) -> int:
+        """Store a batch of ``(seed, result)`` pairs in one transaction.
+
+        Cost is O(batch): one ``INSERT OR IGNORE`` per pair inside a single
+        commit, independent of how many results the store already holds.
+        """
+        rows: List[Tuple[str, int, str, str, float]] = []
+        for seed, result in pairs:
+            try:
+                payload = json.dumps(encode_result(result), sort_keys=True)
+            except TypeError:
+                continue  # unjournalable result: run it again next time
+            rows.append((key, int(seed), self.version, payload, time.time()))
+        if not rows:
+            return 0
+        before = self._conn.total_changes
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO results (key, seed, version, payload, created_at)"
+                " VALUES (?, ?, ?, ?, ?)",
+                rows,
+            )
+        written = self._conn.total_changes - before
+        self.bytes_written += sum(len(row[3]) for row in rows[:written])
+        return written
+
+    def record_payload(self, key: str, seed: int, payload: Any, version: str) -> bool:
+        """Low-level insert of an already-encoded payload under an explicit
+        version stamp (the migration path; normal recording stamps the
+        current :func:`~repro.store.fingerprint.code_version`)."""
+        before = self._conn.total_changes
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO results (key, seed, version, payload, created_at)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (str(key), int(seed), str(version), json.dumps(payload, sort_keys=True), time.time()),
+            )
+        return self._conn.total_changes > before
+
+    # ------------------------------------------------------------ introspection
+
+    def keys(self) -> List[str]:
+        """Distinct fingerprints present (any version)."""
+        return [row[0] for row in self._conn.execute("SELECT DISTINCT key FROM results")]
+
+    def counts_by_version(self) -> Dict[str, int]:
+        return {
+            str(version): int(count)
+            for version, count in self._conn.execute(
+                "SELECT version, COUNT(*) FROM results GROUP BY version"
+            )
+        }

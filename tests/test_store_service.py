@@ -1,0 +1,221 @@
+"""The study service: submission, dedupe, warm-store re-runs, serve CLI.
+
+The service's contract is "zero redundant compute": a study re-submitted in
+the same process is deduplicated by study fingerprint, and a study re-run
+against a warm :class:`~repro.store.ResultStore` -- new process, new service
+-- satisfies every trial from the store and exports a ``points`` block that
+is byte-identical to the cold run's.  The CLI tests drive ``abe-repro
+serve`` end to end through :func:`repro.cli.main`, twice against the same
+store, and assert exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import ScenarioSpec
+from repro.scenarios.spec import StudySpec
+from repro.store import ResultStore
+from repro.store.service import StudyService, study_from_spec
+
+
+def small_study(trials: int = 2, seed: int = 5, name: str = "svc") -> StudySpec:
+    points = tuple(
+        ScenarioSpec(
+            algorithm="abe-election",
+            topology={"kind": "uniring", "params": {"n": n}},
+            trials=trials,
+            seed=seed,
+            label=f"n{n}",
+        )
+        for n in (4, 5)
+    )
+    return StudySpec(name=name, points=points)
+
+
+from repro.network.delays import ExponentialDelay
+
+
+class AddressDelay(ExponentialDelay):
+    """A runnable delay model whose repr carries a memory address, so the
+    spec refuses a fingerprint and the job runs anonymously, unjournaled."""
+
+    __repr__ = object.__repr__
+
+
+class TestStudyFromSpec:
+    def test_scenario_lifts_to_one_point_study(self):
+        spec = ScenarioSpec(algorithm="abe-election", label="solo")
+        study = study_from_spec(spec)
+        assert isinstance(study, StudySpec)
+        assert study.name == "solo"
+        assert study.points == (spec,)
+        assert study_from_spec(study) is study
+
+    def test_other_objects_are_rejected(self):
+        with pytest.raises(TypeError):
+            study_from_spec({"algorithm": "abe-election"})
+
+
+class TestStudyService:
+    def test_submit_run_export(self, tmp_path):
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            with StudyService(store) as service:
+                job_id, disposition = service.submit(small_study(), source="test")
+                assert disposition == "queued"
+                reports = service.run_pending()
+            assert [r.job_id for r in reports] == [job_id]
+            report = reports[0]
+            assert report.status == "completed"
+            assert report.trials_executed == 4  # 2 points x 2 trials
+            assert report.hits == 0 and report.lookups == 4
+            assert len(store) == 4  # every trial landed in the store
+            path = service.export(report, tmp_path / "out")
+            assert os.path.basename(path) == f"{job_id}.json"
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+            assert doc["cache"] == {
+                "lookups": 4,
+                "hits": 0,
+                "misses": 4,
+                "hit_rate": 0.0,
+                "trials_executed": 4,
+            }
+            assert [point["label"] for point in doc["points"]] == ["n4", "n5"]
+            summary = doc["points"][0]["summary"]
+            assert summary["trials"] == 2 and summary["failures"] == 0
+            assert "elected" not in summary["metrics"].get("seed", {})
+
+    def test_in_process_duplicates_are_not_re_executed(self, tmp_path):
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            with StudyService(store) as service:
+                job_id, first = service.submit(small_study())
+                _, coalesced = service.submit(small_study())  # still queued
+                assert (first, coalesced) == ("queued", "duplicate")
+                reports = service.run_pending()
+                assert len(reports) == 1  # coalesced, not run twice
+                # Re-submitting after completion serves the cached report.
+                dup_id, disposition = service.submit(small_study())
+                assert (dup_id, disposition) == (job_id, "duplicate")
+                (dup,) = service.run_pending()
+                assert dup.status == "duplicate"
+                assert dup.duplicate_of == job_id
+                assert dup.points is reports[0].points  # original results reused
+
+    def test_warm_store_run_is_pure_cache(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with ResultStore(path) as store, StudyService(store) as service:
+            service.submit(small_study())
+            (cold,) = service.run_pending()
+        # A new process: new store handle, new service, same sqlite file.
+        with ResultStore(path) as store, StudyService(store) as service:
+            service.submit(small_study())
+            (warm,) = service.run_pending()
+        assert warm.trials_executed == 0  # zero trial compute
+        assert warm.hits == warm.lookups == 4
+        cold_points = json.dumps([p.identity_dict() for p in cold.points], sort_keys=True)
+        warm_points = json.dumps([p.identity_dict() for p in warm.points], sort_keys=True)
+        assert cold_points == warm_points  # byte-identical aggregates
+
+    def test_unfingerprintable_spec_runs_anonymously_unjournaled(self, tmp_path):
+        spec = ScenarioSpec(
+            algorithm="abe-election",
+            topology={"kind": "uniring", "params": {"n": 4}},
+            trials=2,
+            params={"delay": AddressDelay(mean=1.0)},
+        )
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            with StudyService(store) as service:
+                job_id, disposition = service.submit(spec)
+                assert (job_id, disposition) == ("anon-1", "queued")
+                (report,) = service.run_pending()
+            assert report.fingerprint is None
+            assert report.points[0].fingerprint is None
+            assert report.lookups == 0  # the store was never consulted
+            assert report.trials_executed == 2  # everything returned was computed
+            assert len(store) == 0  # nothing cached under a per-process key
+
+
+class TestServeCLI:
+    def _write_spec(self, path, **kwargs):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(small_study(**kwargs).to_dict(), handle)
+
+    def test_serve_twice_warm_run_is_byte_identical(self, tmp_path, capsys):
+        spec_path = tmp_path / "study.json"
+        self._write_spec(spec_path)
+        store = tmp_path / "store.sqlite"
+
+        def serve(export):
+            code = main(
+                ["serve", str(spec_path), "--store", str(store), "--export", str(export)]
+            )
+            assert code == 0
+            captured = capsys.readouterr()
+            (export_file,) = [
+                name for name in os.listdir(export) if name.endswith(".json")
+            ]
+            with open(os.path.join(str(export), export_file), "r", encoding="utf-8") as handle:
+                return json.load(handle), captured
+
+        cold, cold_io = serve(tmp_path / "cold")
+        warm, warm_io = serve(tmp_path / "warm")
+        assert cold["cache"]["misses"] == 4 and cold["cache"]["trials_executed"] == 4
+        assert warm["cache"]["misses"] == 0 and warm["cache"]["trials_executed"] == 0
+        assert warm["cache"]["hits"] == 4
+        # The deterministic block survives the cold->warm transition byte
+        # for byte; cache/timing live outside it.
+        assert json.dumps(cold["points"], sort_keys=True) == json.dumps(
+            warm["points"], sort_keys=True
+        )
+        assert "cache: 4/4 hit(s), 0 trial(s) executed" in warm_io.out
+        assert "exported:" in warm_io.out
+
+    def test_serve_watch_once_processes_backlog(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        self._write_spec(spool / "job.json")
+        (spool / "notes.txt").write_text("ignored: not a .json spec\n")
+        code = main(
+            [
+                "serve",
+                "--store",
+                str(tmp_path / "store.sqlite"),
+                "--watch",
+                str(spool),
+                "--once",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "job " in out and "[completed]" in out
+
+    def test_serve_requires_jobs_or_watch(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--store", str(tmp_path / "store.sqlite")])
+
+    def test_serve_reports_unreadable_spec(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["serve", str(bad), "--store", str(tmp_path / "store.sqlite")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_migrate_cli_round_trip(self, tmp_path, capsys):
+        from repro.experiments.resilience import CheckpointJournal
+
+        journal = tmp_path / "journal.jsonl"
+        CheckpointJournal(journal).record_many(
+            "key", [(1, {"m": 1.0}), (2, {"m": 2.0})]
+        )
+        store = tmp_path / "store.sqlite"
+        assert main(["migrate", str(journal), "--store", str(store)]) == 0
+        assert "migrated 2 result(s)" in capsys.readouterr().out
+        assert main(["migrate", str(journal), "--store", str(store)]) == 0
+        assert "migrated 0 result(s) (2 already present" in capsys.readouterr().out
+        with ResultStore(store) as reopened:
+            assert len(reopened) == 2
