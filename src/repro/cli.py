@@ -439,7 +439,7 @@ def _command_migrate(args: argparse.Namespace) -> int:
 
 
 def _command_list() -> int:
-    from repro.scenarios import ALGORITHMS, TOPOLOGIES
+    from repro.scenarios import ALGORITHMS, CHURN, CHURN_EVENTS, DELAYS, TOPOLOGIES
 
     for experiment_id in sorted(ALL_EXPERIMENTS):
         module = ALL_EXPERIMENTS[experiment_id]
@@ -450,6 +450,9 @@ def _command_list() -> int:
     for key in ALGORITHMS.known():
         print(f"    {key}: {ALGORITHMS.get(key).description}")
     print(f"scenario topologies: {', '.join(TOPOLOGIES.known())}")
+    print(f"scenario delay models: {', '.join(DELAYS.known())}")
+    print(f"scenario churn scripts: {', '.join(CHURN.known())}")
+    print(f"scenario churn events: {', '.join(CHURN_EVENTS.known())}")
     return 0
 
 

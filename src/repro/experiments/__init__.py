@@ -16,6 +16,7 @@ E5        Theorem 1: correct synchronizers use >= n messages/round; the ABD
 E6        Comparison with Itai-Rodeh / Chang-Roberts / DKR / Franklin
 E7        Complexity depends on the delay *mean*, not the delay family
 E8        Robustness to clock drift within the (s_low, s_high) bounds
+E9        Stabilization of the churn-aware election under leader churn
 A1        Ablation: adaptive vs constant activation schedule
 A2        Ablation: purging at active nodes vs forwarding
 ========  ==================================================================
@@ -51,6 +52,7 @@ from repro.experiments import (
     e6_baseline_comparison,
     e7_delay_robustness,
     e8_clock_drift,
+    e9_churn_stabilization,
     a1_schedule_ablation,
     a2_purge_ablation,
 )
@@ -64,6 +66,7 @@ ALL_EXPERIMENTS = {
     "e6": e6_baseline_comparison,
     "e7": e7_delay_robustness,
     "e8": e8_clock_drift,
+    "e9": e9_churn_stabilization,
     "a1": a1_schedule_ablation,
     "a2": a2_purge_ablation,
 }

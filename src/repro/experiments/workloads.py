@@ -92,6 +92,7 @@ _ELECTION_SPEC_FIELDS = frozenset(
         "core",
         "max_events",
         "max_time",
+        "churn",
     }
 )
 

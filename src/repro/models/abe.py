@@ -101,6 +101,30 @@ class ABEModel(NetworkModel):
                 f"exceeds the known bound gamma={self.expected_processing_bound}"
             )
 
+    def churn_timeouts(
+        self, n: int, *, interval_factor: float = 2.0, timeout_factor: float = 6.0
+    ) -> tuple:
+        """Default ``(heartbeat_interval, leader_timeout)`` for an ``n``-ring.
+
+        The known bounds are exactly what makes failure detection possible in
+        an ABE network: ``(delta + gamma) / s_low`` bounds the expected
+        real-time cost of one hop as seen by the slowest admissible clock, so
+        a heartbeat circulates the ring in about ``n`` times that.  The
+        interval leaves a couple of circulations between heartbeats and the
+        timeout several more before a missing heartbeat is treated as a dead
+        leader -- expectations admit arbitrarily long individual delays, so
+        the slack trades (rare, harmless) false suspicions against detection
+        latency; it cannot be removed outright.
+        """
+        if n < 2:
+            raise ValueError(f"churn timeouts need a ring of size n >= 2, got {n}")
+        if interval_factor <= 0 or timeout_factor <= 0:
+            raise ValueError("interval_factor and timeout_factor must be positive")
+        per_hop = (self.delta + self.gamma) / self.s_low
+        interval = interval_factor * n * per_hop
+        timeout = timeout_factor * n * per_hop + interval
+        return interval, timeout
+
     def known_bounds(self) -> Dict[str, float]:
         return {
             "expected_delay_bound": self.expected_delay_bound,

@@ -64,6 +64,16 @@ from repro.network.adversary import (
     TargetedSlowdownAdversary,
 )
 from repro.network.faults import CrashStopFault, FaultInjector, MessageLossFault
+from repro.network.churn import (
+    CrashEvent,
+    FaultScript,
+    LinkDownEvent,
+    LinkUpEvent,
+    PeriodicChurn,
+    RecoverEvent,
+    ScheduledFaultInjector,
+    StabilizationMonitor,
+)
 
 __all__ = [
     "DelayDistribution",
@@ -108,4 +118,12 @@ __all__ = [
     "MessageLossFault",
     "CrashStopFault",
     "FaultInjector",
+    "CrashEvent",
+    "RecoverEvent",
+    "LinkDownEvent",
+    "LinkUpEvent",
+    "PeriodicChurn",
+    "FaultScript",
+    "ScheduledFaultInjector",
+    "StabilizationMonitor",
 ]

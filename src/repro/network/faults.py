@@ -166,9 +166,41 @@ class FaultInjector:
             fault.crash_time, lambda: self._crash_now(node)
         )
 
-    def _crash_now(self, node: Node) -> None:
+    def _must_defer_crash(self, node: Node) -> bool:
+        """Whether a crash firing *now* would land before the node started.
+
+        A crash scheduled at time 0 enters the event queue before
+        ``Network.start()`` queues the ``on_start`` events at the same
+        instant, so without a defer the "crashed" node would be started (and
+        its ticks re-armed) right after the crash fired.  The tick process is
+        the observable start marker: ``None`` at time 0 means ``on_start``
+        has not run yet.
+        """
+        simulator = self.network.simulator
+        program = node.program
+        return (
+            simulator.now == 0.0
+            and program is not None
+            and program._tick_process is None
+        )
+
+    def _crash_now(self, node: Node, _requeued: bool = False) -> bool:
         if node.uid in self.nodes_crashed:
-            return
+            return False
+        if not _requeued and self._must_defer_crash(node):
+            # One-time same-instant requeue: the re-scheduled event sorts
+            # after the pending on_start events at the same timestamp, so the
+            # crash lands on a *started* node.  Exactly one requeue -- a
+            # program that never starts ticking must not loop forever.
+            self.network.simulator.schedule_at(
+                self.network.simulator.now, lambda: self._crash_now(node, True)
+            )
+            return False
+        return self._crash_apply(node)
+
+    def _crash_apply(self, node: Node) -> bool:
+        if node.uid in self.nodes_crashed:
+            return False
         self.nodes_crashed.append(node.uid)
         self.network.tracer.record(
             self.network.simulator.now, "crash", node.uid
@@ -181,6 +213,7 @@ class FaultInjector:
             self.deliveries_to_crashed += 1
 
         node.deliver = swallow  # type: ignore[method-assign]
+        return True
 
     # ------------------------------------------------------------------ batch
 

@@ -19,7 +19,15 @@ from repro.scenarios.spec import (
     load_spec,
     spec_from_dict,
 )
-from repro.scenarios.registry import DELAYS, DRIFTS, SCHEDULES, TOPOLOGIES, Registry
+from repro.scenarios.registry import (
+    CHURN,
+    CHURN_EVENTS,
+    DELAYS,
+    DRIFTS,
+    SCHEDULES,
+    TOPOLOGIES,
+    Registry,
+)
 from repro.scenarios.algorithms import ALGORITHMS, AlgorithmEntry, WaveResult
 from repro.scenarios.runtime import compile_trial, run_scenario, run_study
 from repro.scenarios.report import (
@@ -41,6 +49,8 @@ __all__ = [
     "DELAYS",
     "DRIFTS",
     "SCHEDULES",
+    "CHURN",
+    "CHURN_EVENTS",
     "ALGORITHMS",
     "AlgorithmEntry",
     "WaveResult",

@@ -43,6 +43,7 @@ from repro.network.faults import CrashStopFault, FaultInjector, MessageLossFault
 from repro.scenarios.registry import (
     Registry,
     DriftFactory,
+    build_churn,
     build_delay,
     build_schedule,
     build_topology,
@@ -157,6 +158,13 @@ class ElectionScenarioTrial:
     (:func:`~repro.core.runner.build_election_network` +
     :class:`~repro.network.faults.FaultInjector`).
 
+    A spec with a ``churn`` node compiles onto the churn-aware election
+    (:func:`~repro.core.churn_election.run_churn_election`): the scripted
+    injector drives crash/recover and link churn, and the result carries the
+    stabilization metrics.  Churn is object-core only, and static ``crash``
+    fault nodes are rejected in its presence (express them as churn events so
+    the monitor sees them).
+
     ``core="vector"`` specs compile onto the columnar engine instead:
     the no-fault path is ``run_election(..., core="vector")`` and faults
     translate to the engine's first-class knobs (``message-loss`` nodes
@@ -171,6 +179,7 @@ class ElectionScenarioTrial:
         "a0",
         "delay",
         "faults",
+        "churn",
         "max_events",
         "max_time",
         "on_budget",
@@ -185,6 +194,19 @@ class ElectionScenarioTrial:
         delay = _spec_delay(spec)
         self.delay = delay if delay is not None else ExponentialDelay(mean=1.0)
         self.faults = _build_faults(spec.faults)
+        self.churn = build_churn(spec.churn)
+        if self.churn is not None:
+            if spec.core == "vector":
+                raise ValueError(
+                    "the 'churn' knob needs the per-node object core "
+                    "(crash/recover mutates individual nodes); use core='object'"
+                )
+            if any(isinstance(fault, CrashStopFault) for fault in self.faults):
+                raise ValueError(
+                    "churn specs express crashes as churn events (kind 'crash', "
+                    "optionally with a downtime); a static crash fault would "
+                    "bypass the stabilization bookkeeping"
+                )
         self.max_events = spec.max_events
         self.max_time = spec.max_time
         self.on_budget = spec.on_budget
@@ -248,6 +270,21 @@ class ElectionScenarioTrial:
         return kwargs
 
     def __call__(self, seed: int) -> Any:
+        if self.churn is not None:
+            from repro.core.churn_election import run_churn_election
+
+            return run_churn_election(
+                self.n,
+                script=self.churn,
+                a0=self.a0,
+                delay=self.delay,
+                seed=seed,
+                faults=tuple(self.faults),
+                max_events=self.max_events,
+                max_time=self.max_time,
+                on_budget=self.on_budget,
+                **self.kwargs,
+            )
         if self.vector_kwargs is not None:
             from repro.core.vector_core import run_vector_election
 

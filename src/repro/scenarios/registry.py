@@ -10,7 +10,9 @@ references by name:
   heterogeneous links;
 * :data:`DRIFTS` -- the clock-drift models of :mod:`repro.sim.clock`;
 * :data:`SCHEDULES` -- the activation schedules of
-  :mod:`repro.core.activation`.
+  :mod:`repro.core.activation`;
+* :data:`CHURN` / :data:`CHURN_EVENTS` -- the dynamic-fault scripts of
+  :mod:`repro.network.churn` and the timed events they contain.
 
 Workload runners register separately in
 :mod:`repro.scenarios.algorithms` (:data:`~repro.scenarios.algorithms.ALGORITHMS`).
@@ -43,6 +45,15 @@ from repro.network.delays import (
     UniformDelay,
     WeibullDelay,
 )
+from repro.network.adversary import MaxDelayAdversary, TargetedSlowdownAdversary
+from repro.network.churn import (
+    CrashEvent,
+    FaultScript,
+    LinkDownEvent,
+    LinkUpEvent,
+    PeriodicChurn,
+    RecoverEvent,
+)
 from repro.network.queueing import MM1SojournDelay
 from repro.network.retransmission import GeometricRetransmissionDelay
 from repro.network.routing import DynamicRoutingDelay
@@ -55,9 +66,12 @@ __all__ = [
     "DELAYS",
     "DRIFTS",
     "SCHEDULES",
+    "CHURN",
+    "CHURN_EVENTS",
     "build_topology",
     "build_delay",
     "build_schedule",
+    "build_churn",
     "PerLinkDelay",
     "DriftFactory",
 ]
@@ -185,6 +199,18 @@ def _per_link_delay(delays: Any) -> PerLinkDelay:
     return PerLinkDelay([_build_nested_delay(entry) for entry in delays])
 
 
+def _max_adversary_delay(base: Any) -> MaxDelayAdversary:
+    return MaxDelayAdversary(_build_nested_delay(base))
+
+
+def _targeted_slowdown_delay(
+    base: Any, victim: int, slowdown: float = 10.0
+) -> TargetedSlowdownAdversary:
+    return TargetedSlowdownAdversary(
+        _build_nested_delay(base), victim=victim, slowdown=slowdown
+    )
+
+
 DELAYS = Registry("delay model")
 DELAYS.register("constant", ConstantDelay)
 DELAYS.register("uniform", UniformDelay)
@@ -202,6 +228,10 @@ DELAYS.register("routing", _routing_delay)
 DELAYS.register("mixture", _mixture_delay)
 DELAYS.register("truncated", _truncated_delay)
 DELAYS.register("per-link", _per_link_delay)
+# Adversarial wrappers (repro.network.adversary): the adversary picks delays
+# within a base model's support, so both take a nested 'base' delay node.
+DELAYS.register("max-adversary", _max_adversary_delay)
+DELAYS.register("targeted-slowdown", _targeted_slowdown_delay)
 
 
 def build_delay(node: Optional[SpecNode]) -> Optional[Any]:
@@ -253,3 +283,61 @@ def build_schedule(node: Optional[SpecNode]) -> Optional[ActivationSchedule]:
     if node is None:
         return None
     return SCHEDULES.build(node)
+
+
+# ----------------------------------------------------------------------- churn
+
+CHURN_EVENTS = Registry("churn event")
+CHURN_EVENTS.register("crash", CrashEvent)
+CHURN_EVENTS.register("recover", RecoverEvent)
+CHURN_EVENTS.register("link-down", LinkDownEvent)
+CHURN_EVENTS.register("link-up", LinkUpEvent)
+CHURN_EVENTS.register("periodic", PeriodicChurn)
+
+
+def _churn_event(data: Any) -> Any:
+    node = data if isinstance(data, SpecNode) else SpecNode.from_dict(data)
+    return CHURN_EVENTS.build(node)
+
+
+def _script_churn(
+    events: Any = (),
+    heartbeat_interval: Optional[float] = None,
+    leader_timeout: Optional[float] = None,
+) -> FaultScript:
+    return FaultScript(
+        events=tuple(_churn_event(entry) for entry in events),
+        heartbeat_interval=heartbeat_interval,
+        leader_timeout=leader_timeout,
+    )
+
+
+def _periodic_churn(
+    heartbeat_interval: Optional[float] = None,
+    leader_timeout: Optional[float] = None,
+    **params: Any,
+) -> FaultScript:
+    return FaultScript(
+        events=(PeriodicChurn(**params),),
+        heartbeat_interval=heartbeat_interval,
+        leader_timeout=leader_timeout,
+    )
+
+
+CHURN = Registry("churn script")
+CHURN.register("script", _script_churn)
+CHURN.register("periodic", _periodic_churn)
+
+
+def build_churn(node: Optional[SpecNode]) -> Optional[FaultScript]:
+    """Build the dynamic-fault script a spec names (``None`` passes through).
+
+    ``{"kind": "script", "params": {"events": [{"kind": "crash", "params":
+    {"node": "leader", "time": 40, "downtime": 40}}, ...]}}`` nests churn
+    event nodes resolved against :data:`CHURN_EVENTS`; ``{"kind":
+    "periodic", "params": {"interval": 50, "count": 3, "downtime": 20}}``
+    is the rate-driven shorthand.
+    """
+    if node is None:
+        return None
+    return CHURN.build(node)

@@ -136,6 +136,13 @@ class ScenarioSpec:
         knobs.  ``drift`` builds one fresh model per node.
     faults:
         Fault nodes applied before the run (``message-loss``, ``crash``).
+    churn:
+        Optional dynamic-fault script node (``"script"`` with a list of timed
+        crash/recover/link events, or ``"periodic"`` for rate-driven churn)
+        resolved against the ``CHURN`` registry.  Election only; switches the
+        run to the churn-aware election with stabilization metrics
+        (:mod:`repro.core.churn_election`).  Strictly opt-in: ``None`` keeps
+        the static single-election semantics bit for bit.
     stopping:
         Optional :class:`~repro.experiments.runner.AdaptiveStopping` rule; the
         run then stops each point's trials once the target metric's CI is
@@ -190,6 +197,10 @@ class ScenarioSpec:
     batch_ticks: bool = True
     core: str = "object"
     params: Dict[str, Any] = field(default_factory=dict)
+    # Appended after params so every pre-existing positional construction --
+    # and every pre-existing fingerprint (to_dict omits default fields) --
+    # is preserved.  See the CHURN registry for the node kinds.
+    churn: Optional[SpecNode] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.algorithm, str) or not self.algorithm:
@@ -202,6 +213,7 @@ class ScenarioSpec:
         object.__setattr__(
             self, "faults", tuple(_node(fault) for fault in self.faults)
         )
+        object.__setattr__(self, "churn", _node(self.churn))
         if self.delay is not None and self.retransmission is not None:
             raise ValueError(
                 "give either 'delay' or the 'retransmission' shorthand, not both "

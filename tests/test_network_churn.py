@@ -1,0 +1,278 @@
+"""Tests for the scripted dynamic-network fault layer (repro.network.churn).
+
+Covers the event vocabulary (validation, expansion, quiescence analysis) and
+the schedule-aware injector's defining property: it can *reverse* what it
+applies -- crashed nodes deliver again after recovery and cut links restore
+their saved delivery path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.traversal import RingTraversalProgram
+from repro.network.churn import (
+    CrashEvent,
+    FaultScript,
+    LinkDownEvent,
+    LinkUpEvent,
+    PeriodicChurn,
+    RecoverEvent,
+    ScheduledFaultInjector,
+)
+from repro.network.delays import ConstantDelay
+from repro.network.network import Network, NetworkConfig
+from repro.network.topology import unidirectional_ring
+
+
+def traversal_network(n=6, seed=0):
+    config = NetworkConfig(
+        topology=unidirectional_ring(n), delay_model=ConstantDelay(1.0), seed=seed
+    )
+    return Network(
+        config, lambda uid: RingTraversalProgram(is_initiator=(uid == 0), target_laps=50)
+    )
+
+
+class TestEventValidation:
+    def test_negative_times_rejected(self):
+        for bad in (
+            lambda: CrashEvent(node=0, time=-1.0),
+            lambda: RecoverEvent(node=0, time=-0.5),
+            lambda: LinkDownEvent(channel=0, time=-2.0),
+            lambda: LinkUpEvent(channel=0, time=-2.0),
+        ):
+            with pytest.raises(ValueError):
+                bad()
+
+    def test_symbolic_target_must_be_leader(self):
+        CrashEvent(node="leader", time=1.0, downtime=5.0)  # ok
+        with pytest.raises(ValueError):
+            CrashEvent(node="follower", time=1.0)
+
+    def test_nonpositive_downtime_and_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CrashEvent(node=0, time=1.0, downtime=0.0)
+        with pytest.raises(ValueError):
+            LinkDownEvent(channel=0, time=1.0, duration=-1.0)
+
+    def test_periodic_churn_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicChurn(interval=0.0, count=1, downtime=1.0)
+        with pytest.raises(ValueError):
+            PeriodicChurn(interval=1.0, count=-1, downtime=1.0)
+        with pytest.raises(ValueError):
+            PeriodicChurn(interval=1.0, count=1, downtime=0.0)
+        with pytest.raises(ValueError):
+            PeriodicChurn(interval=1.0, count=1, downtime=1.0, target="victim")
+
+    def test_script_rejects_unknown_event(self):
+        with pytest.raises(ValueError):
+            FaultScript(events=("not-an-event",))
+        with pytest.raises(ValueError):
+            FaultScript(heartbeat_interval=0.0)
+        with pytest.raises(ValueError):
+            FaultScript(leader_timeout=-1.0)
+
+
+class TestScriptExpansion:
+    def test_expand_sorts_by_time(self):
+        script = FaultScript(
+            events=(
+                LinkDownEvent(channel=0, time=9.0, duration=1.0),
+                CrashEvent(node=1, time=2.0, downtime=3.0),
+                RecoverEvent(node=2, time=5.0),
+            )
+        )
+        times = [e.time for e in script.expand(4, random.Random(0))]
+        assert times == sorted(times)
+
+    def test_periodic_expansion_is_seed_deterministic(self):
+        churn = PeriodicChurn(interval=10.0, count=4, downtime=2.0, start=1.0)
+        script = FaultScript(events=(churn,))
+        a = script.expand(8, random.Random(7))
+        b = script.expand(8, random.Random(7))
+        assert a == b
+        assert len(a) == 4
+        assert all(isinstance(e, CrashEvent) and e.downtime == 2.0 for e in a)
+        assert all(e.time >= 1.0 for e in a)
+        assert all(isinstance(e.node, int) and 0 <= e.node < 8 for e in a)
+        # A different stream realizes a different schedule.
+        assert script.expand(8, random.Random(8)) != a
+
+    def test_periodic_leader_target_stays_symbolic(self):
+        churn = PeriodicChurn(interval=5.0, count=3, downtime=1.0, target="leader")
+        events = FaultScript(events=(churn,)).expand(8, random.Random(0))
+        assert all(e.node == "leader" for e in events)
+
+
+class TestQuiescence:
+    def test_crash_with_downtime_is_quiescent(self):
+        assert FaultScript(
+            events=(CrashEvent(node=0, time=1.0, downtime=2.0),)
+        ).eventually_quiescent
+
+    def test_crash_with_later_recover_is_quiescent(self):
+        script = FaultScript(
+            events=(
+                CrashEvent(node=0, time=1.0),
+                RecoverEvent(node=0, time=4.0),
+            )
+        )
+        assert script.eventually_quiescent
+
+    def test_unrecovered_crash_is_not_quiescent(self):
+        assert not FaultScript(events=(CrashEvent(node=0, time=1.0),)).eventually_quiescent
+        # A recover for a *different* node does not help.
+        script = FaultScript(
+            events=(CrashEvent(node=0, time=1.0), RecoverEvent(node=1, time=4.0))
+        )
+        assert not script.eventually_quiescent
+
+    def test_symbolic_crash_without_downtime_is_not_quiescent(self):
+        assert not FaultScript(
+            events=(CrashEvent(node="leader", time=1.0),)
+        ).eventually_quiescent
+
+    def test_link_down_quiescence(self):
+        assert FaultScript(
+            events=(LinkDownEvent(channel=0, time=1.0, duration=2.0),)
+        ).eventually_quiescent
+        assert FaultScript(
+            events=(
+                LinkDownEvent(channel=0, time=1.0),
+                LinkUpEvent(channel=0, time=3.0),
+            )
+        ).eventually_quiescent
+        assert not FaultScript(
+            events=(LinkDownEvent(channel=0, time=1.0),)
+        ).eventually_quiescent
+
+    def test_periodic_churn_is_always_quiescent(self):
+        assert FaultScript(
+            events=(PeriodicChurn(interval=1.0, count=10, downtime=1.0),)
+        ).eventually_quiescent
+
+
+class TestScheduledInjector:
+    def test_install_schedules_and_counts_pending(self):
+        network = traversal_network(seed=1)
+        script = FaultScript(
+            events=(
+                CrashEvent(node=3, time=2.0, downtime=5.0),
+                LinkDownEvent(channel=1, time=4.0, duration=3.0),
+            )
+        )
+        injector = ScheduledFaultInjector(network, script)
+        assert injector.install() == 2
+        assert injector.pending == 2
+        assert not injector.quiescent
+        network.run(until=30.0, max_events=5000)
+        assert injector.pending == 0
+        assert injector.quiescent
+        assert injector.crashes_applied == 1
+        assert injector.recoveries == 1
+        assert injector.link_outages == 1
+
+    def test_reinstall_rejected(self):
+        network = traversal_network()
+        injector = ScheduledFaultInjector(network, FaultScript())
+        injector.install()
+        with pytest.raises(RuntimeError):
+            injector.install()
+
+    def test_unknown_node_and_channel_rejected(self):
+        network = traversal_network(n=4)
+        bad_node = ScheduledFaultInjector(
+            network, FaultScript(events=(CrashEvent(node=9, time=1.0, downtime=1.0),))
+        )
+        with pytest.raises(ValueError):
+            bad_node.install()
+        network = traversal_network(n=4)
+        bad_link = ScheduledFaultInjector(
+            network, FaultScript(events=(LinkDownEvent(channel=99, time=1.0),))
+        )
+        with pytest.raises(ValueError):
+            bad_link.install()
+
+    def test_crash_is_reversed_on_recovery(self):
+        network = traversal_network(seed=2)
+        script = FaultScript(
+            events=(
+                CrashEvent(node=2, time=3.0),
+                RecoverEvent(node=2, time=10.0),
+            )
+        )
+        injector = ScheduledFaultInjector(network, script)
+        injector.install()
+        network.run(until=6.0, max_events=5000)
+        node = network.nodes[2]
+        assert injector.nodes_crashed == [2]
+        assert "deliver" in node.__dict__  # swallow installed
+        network.run(until=30.0, max_events=5000)
+        # nodes_crashed means *currently* crashed under the scheduled injector.
+        assert injector.nodes_crashed == []
+        assert "deliver" not in node.__dict__  # class method restored
+        assert len(network.tracer.filter(category="recover")) == 1
+
+    def test_recover_of_live_node_is_noop(self):
+        network = traversal_network(seed=3)
+        script = FaultScript(events=(RecoverEvent(node=1, time=2.0),))
+        injector = ScheduledFaultInjector(network, script)
+        injector.install()
+        network.run(until=10.0, max_events=5000)
+        assert injector.recoveries == 0
+        assert injector.quiescent
+
+    def test_crash_of_already_crashed_node_is_noop(self):
+        network = traversal_network(seed=4)
+        script = FaultScript(
+            events=(
+                CrashEvent(node=3, time=2.0, downtime=50.0),
+                CrashEvent(node=3, time=4.0, downtime=50.0),
+            )
+        )
+        injector = ScheduledFaultInjector(network, script)
+        injector.install()
+        network.run(until=20.0, max_events=5000)
+        assert injector.crashes_applied == 1
+        assert injector.nodes_crashed == [3]
+        assert network.metrics.count("nodes_crashed") == 1
+
+    def test_link_outage_drops_only_messages_sent_during_it(self):
+        # The token crosses channel 0 (node 0 -> 1) once per lap.  Cutting it
+        # mid-run kills the token; restoring it does not resurrect the loss.
+        network = traversal_network(seed=5)
+        script = FaultScript(
+            events=(
+                LinkDownEvent(channel=0, time=7.5),
+                LinkUpEvent(channel=0, time=12.5),
+            )
+        )
+        injector = ScheduledFaultInjector(network, script)
+        injector.install()
+        network.run(until=40.0, max_events=5000)
+        assert injector.link_outages == 1
+        assert injector.messages_dropped >= 1
+        assert len(network.tracer.filter(category="link-down")) == 1
+        assert len(network.tracer.filter(category="link-up")) == 1
+        saved = injector._link_saved
+        assert saved == {}  # reversal consumed the saved delivery path
+
+    def test_double_link_down_saves_original_path_once(self):
+        network = traversal_network(seed=6)
+        script = FaultScript(
+            events=(
+                LinkDownEvent(channel=2, time=1.0),
+                LinkDownEvent(channel=2, time=2.0),
+                LinkUpEvent(channel=2, time=5.0),
+            )
+        )
+        injector = ScheduledFaultInjector(network, script)
+        injector.install()
+        network.run(until=10.0, max_events=5000)
+        assert injector.link_outages == 1  # second down was a no-op
+        channel = network.channels[2]
+        assert channel._deliver.__self__ is channel  # bound method restored

@@ -161,6 +161,46 @@ class TestFaultIdempotency:
         assert network.metrics.count("nodes_crashed") == 1
 
 
+class TestCrashEdgeCases:
+    """Regression tests for the crash-fault edge cases (already-crashed, t=0)."""
+
+    def test_second_crash_of_same_node_is_noop(self):
+        # Two distinct crash directives for one node: the second must not
+        # re-record the crash or re-wrap delivery.
+        network = traversal_network(seed=9)
+        injector = FaultInjector(network)
+        injector.apply_crash(CrashStopFault(node_uid=3, crash_time=2.0))
+        injector.apply_crash(CrashStopFault(node_uid=3, crash_time=4.0))
+        network.run(until=50.0, max_events=5000)
+        assert injector.nodes_crashed == [3]
+        assert network.metrics.count("nodes_crashed") == 1
+
+    def test_crash_at_time_zero_sticks_for_ticking_programs(self):
+        # A crash scheduled at t=0 sorts before Network.start()'s on_start
+        # events; historically the stop_ticks() inside it was a no-op (no
+        # tick process existed yet) and the "crashed" node kept ticking.  The
+        # injector now requeues once within the same instant so the crash
+        # lands *after* program start-up.
+        network, _status = build_election_network(4, a0=0.5, seed=1)
+        injector = FaultInjector(network)
+        injector.apply_crash(CrashStopFault(node_uid=2, crash_time=0.0))
+        network.run(until=30.0, max_events=5000)
+        assert injector.nodes_crashed == [2]
+        program = network.programs()[2]
+        assert program._tick_process is not None
+        assert program._tick_process.stopped
+
+    def test_crash_at_time_zero_on_non_ticking_program_terminates(self):
+        # Programs that never start ticks must not requeue forever: the
+        # same-instant defer happens at most once.
+        network = traversal_network(seed=10)
+        injector = FaultInjector(network)
+        injector.apply_crash(CrashStopFault(node_uid=0, crash_time=0.0))
+        network.run(until=20.0, max_events=2000)
+        assert injector.nodes_crashed == [0]
+        assert network.metrics.count("nodes_crashed") == 1
+
+
 class TestElectionUnderFaults:
     """Why the ABE model folds unreliability into the delay distribution."""
 
