@@ -1,0 +1,88 @@
+"""Benchmark of the DSE caching story: warm searches cost lookups, not trials.
+
+Runs one small successive-halving search twice against the same result
+store.  The cold pass executes every rung's new seeds; the warm pass must
+execute **zero** trials (asserted -- this is the EPSO-style incremental-
+search claim, not just a speed number) and finish measurably faster, since
+all it does is fingerprint specs and read sqlite rows.
+
+``test_bench_dse_warm_speedup`` gates the warm/cold wall-clock ratio at
+>= 2x by default (``DSE_SPEEDUP_GATE`` overrides; shared CI runners are
+noisy, and the cold pass here is deliberately small).
+
+Run with ``pytest benchmarks/bench_dse_caching.py --benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.dse import SearchSpec, run_search
+from repro.store.result_store import ResultStore
+
+SEARCH = SearchSpec.from_dict(
+    {
+        "name": "bench-dse",
+        "metric": "election_time",
+        "goal": "min",
+        "seed": 31,
+        "trials": 4,
+        "space": {
+            "base": {
+                "algorithm": "abe-election",
+                "topology": {"kind": "uniring", "params": {"n": 8}},
+                "seed": 9,
+                "trials": 4,
+            },
+            "dimensions": [
+                {"name": "a0", "kind": "log-uniform", "field": "a0", "low": 0.01, "high": 0.2},
+                {
+                    "name": "delay",
+                    "kind": "categorical",
+                    "field": "delay",
+                    "choices": [None, {"kind": "uniform", "params": {"low": 0.0, "high": 2.0}}],
+                },
+            ],
+        },
+        "strategy": {
+            "kind": "successive-halving",
+            "params": {"candidates": 8, "eta": 2, "base_trials": 2, "rungs": 3},
+        },
+    }
+)
+
+
+def _timed_search(store_path: str):
+    started = time.perf_counter()
+    with ResultStore(store_path) as store:
+        report = run_search(SEARCH, store)
+    return report, time.perf_counter() - started
+
+
+def test_bench_dse_warm_zero_trials(tmp_path):
+    store_path = os.path.join(str(tmp_path), "store.sqlite")
+    cold, _ = _timed_search(store_path)
+    warm, _ = _timed_search(store_path)
+    assert cold.trials_executed > 0
+    assert warm.trials_executed == 0
+    assert warm.hits == warm.lookups > 0
+    cold_groups = json.dumps([g.to_dict() for g in cold.groups], sort_keys=True)
+    warm_groups = json.dumps([g.to_dict() for g in warm.groups], sort_keys=True)
+    assert cold_groups == warm_groups
+
+
+def test_bench_dse_warm_speedup(tmp_path):
+    gate = float(os.environ.get("DSE_SPEEDUP_GATE", "2.0"))
+    store_path = os.path.join(str(tmp_path), "store.sqlite")
+    _, cold_elapsed = _timed_search(store_path)
+    _, warm_elapsed = _timed_search(store_path)
+    speedup = cold_elapsed / warm_elapsed
+    print(
+        f"\ndse caching: cold {cold_elapsed * 1000:.1f}ms, "
+        f"warm {warm_elapsed * 1000:.1f}ms, speedup {speedup:.1f}x (gate {gate}x)"
+    )
+    assert speedup >= gate, (
+        f"warm search only {speedup:.2f}x faster than cold (gate {gate}x)"
+    )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Installed as the ``abe-repro`` console script.  Six sub-commands:
+Installed as the ``abe-repro`` console script.  Eight sub-commands:
 
 ``abe-repro elect``
     Run one leader election on an ABE ring and print the outcome.
@@ -22,13 +22,25 @@ Installed as the ``abe-repro`` console script.  Six sub-commands:
     keyed into a persistent sqlite result store, and export per-job JSON --
     re-submitting an experiment is a cache hit with zero redundant compute.
 
+``abe-repro optimize <search.json>``
+    Design-space exploration (``docs/DSE.md``): search a declared parameter
+    space for the best-scoring configuration per group (grid, random, or
+    successive halving), every evaluation cached in a persistent result
+    store -- re-running or widening a search executes only new points.
+    Prints the per-group winner table and writes the report JSON plus a
+    comparison figure (SVG) against the paper's fixed constants.
+
+``abe-repro export-store <store> --csv``
+    Dump a sqlite result store as one CSV row per cached trial, for
+    external analysis tooling.
+
 ``abe-repro migrate``
     One-shot migration of PR 6 JSONL checkpoint journals into a sqlite
     result store.
 
 ``abe-repro list``
     List the available experiments with their claims, plus the registered
-    scenario algorithms and topologies.
+    scenario algorithms, topologies, search strategies and dimension kinds.
 """
 
 from __future__ import annotations
@@ -180,6 +192,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="process the current --watch backlog, then exit instead of polling",
     )
     add_execution_arguments(serve, checkpoint=False)
+
+    optimize = subparsers.add_parser(
+        "optimize",
+        help="search a declared parameter space for the best configuration",
+    )
+    optimize.add_argument(
+        "search_path", help="path to a SearchSpec JSON file (see docs/DSE.md)"
+    )
+    optimize.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="output directory (default dse_out/<search name>)",
+    )
+    optimize.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent result store (sqlite; default <out>/store.sqlite); "
+            "re-running the same search against a warm store executes zero "
+            "trials"
+        ),
+    )
+    optimize.add_argument(
+        "--seed", type=int, default=None, help="override the search's master seed"
+    )
+    add_execution_arguments(optimize, checkpoint=False)
+
+    export_store = subparsers.add_parser(
+        "export-store",
+        help="dump a sqlite result store as CSV (one row per cached trial)",
+    )
+    export_store.add_argument("store", help="sqlite result store to export")
+    export_store.add_argument(
+        "--csv",
+        default="-",
+        metavar="PATH",
+        help="destination CSV file (default '-' = stdout)",
+    )
+    export_store.add_argument(
+        "--all-versions",
+        action="store_true",
+        help="include rows recorded under other code versions",
+    )
 
     migrate = subparsers.add_parser(
         "migrate", help="migrate a JSONL checkpoint journal into a sqlite store"
@@ -421,6 +478,83 @@ def _command_serve(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _command_optimize(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.dse import comparison_svg, load_search, run_search
+    from repro.store.result_store import ResultStore
+
+    try:
+        search = load_search(args.search_path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error)) from None
+    workers, adaptive, policy = execution_from_args(args)
+    if adaptive is not None:
+        print(
+            "note: a search declares its own stopping rule (the optimizer "
+            "re-caps it per rung); --ci-tol/--min-trials/--max-trials are ignored",
+            file=sys.stderr,
+        )
+    if args.seed is not None:
+        search = dataclasses.replace(search, seed=args.seed)
+    out_dir = args.out if args.out is not None else os.path.join("dse_out", search.name)
+    store_path = args.store if args.store is not None else os.path.join(out_dir, "store.sqlite")
+    os.makedirs(out_dir, exist_ok=True)
+    progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    try:
+        with ResultStore(
+            store_path, allow_stale=bool(getattr(args, "allow_stale_cache", False))
+        ) as store:
+            with active_policy(policy):
+                report = run_search(
+                    search,
+                    store,
+                    workers=workers if workers is not None else 1,
+                    policy=policy,
+                    progress=progress,
+                )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    report_path = os.path.join(out_dir, "report.json")
+    with open(report_path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    figure_path = os.path.join(out_dir, "comparison.svg")
+    with open(figure_path, "w", encoding="utf-8") as handle:
+        handle.write(comparison_svg(report))
+    title = search.title or search.name
+    print(f"== search: {title} ==")
+    print(f"metric: {report.metric} ({report.goal}), strategy: {report.strategy}")
+    print()
+    print(report.winner_table())
+    print()
+    print(
+        f"cache: {report.hits}/{report.lookups} hit(s), "
+        f"{report.trials_executed} trial(s) executed, {report.elapsed:.2f}s"
+    )
+    print(f"report: {report_path}")
+    print(f"figure: {figure_path}")
+    _report_failures(policy)
+    return 0
+
+
+def _command_export_store(args: argparse.Namespace) -> int:
+    from repro.store.export import write_store_csv
+    from repro.store.result_store import ResultStore
+
+    if not os.path.exists(args.store):
+        raise SystemExit(f"{args.store}: no such store")
+    with ResultStore(args.store, allow_stale=True) as store:
+        if args.csv == "-":
+            count = write_store_csv(store, sys.stdout, all_versions=args.all_versions)
+        else:
+            with open(args.csv, "w", encoding="utf-8", newline="") as handle:
+                count = write_store_csv(store, handle, all_versions=args.all_versions)
+            print(f"exported {count} row(s) to {args.csv}", file=sys.stderr)
+    return 0
+
+
 def _command_migrate(args: argparse.Namespace) -> int:
     from repro.store.fingerprint import code_version
     from repro.store.migrate import migrate_journal
@@ -439,6 +573,7 @@ def _command_migrate(args: argparse.Namespace) -> int:
 
 
 def _command_list() -> int:
+    from repro.dse import DIMENSIONS, STRATEGIES
     from repro.scenarios import ALGORITHMS, CHURN, CHURN_EVENTS, DELAYS, TOPOLOGIES
 
     for experiment_id in sorted(ALL_EXPERIMENTS):
@@ -453,6 +588,13 @@ def _command_list() -> int:
     print(f"scenario delay models: {', '.join(DELAYS.known())}")
     print(f"scenario churn scripts: {', '.join(CHURN.known())}")
     print(f"scenario churn events: {', '.join(CHURN_EVENTS.known())}")
+    print()
+    print("search strategies (abe-repro optimize <search.json>):")
+    for key in STRATEGIES.known():
+        print(f"    {key}: {STRATEGIES.get(key).description}")
+    print("search dimension kinds:")
+    for key in DIMENSIONS.known():
+        print(f"    {key}: {DIMENSIONS.get(key).description}")
     return 0
 
 
@@ -468,6 +610,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_scenario(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "optimize":
+        return _command_optimize(args)
+    if args.command == "export-store":
+        return _command_export_store(args)
     if args.command == "migrate":
         return _command_migrate(args)
     if args.command == "list":

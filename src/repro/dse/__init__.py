@@ -1,0 +1,63 @@
+"""Design-space exploration: cached, early-killing search over scenario spaces.
+
+The paper fixes its constants (activation probability ``a0``, timeout and
+retransmission policy) and reports behaviour for those choices; this package
+*searches* that space instead.  A :class:`~repro.dse.spec.SearchSpec` file
+declares the axes (:class:`~repro.dse.space.SearchSpace`), the method
+(:data:`~repro.dse.strategies.STRATEGIES` -- grid, random,
+successive halving) and the goal; the
+:class:`~repro.dse.optimizer.Optimizer` evaluates every round through the
+fingerprint-keyed :class:`~repro.store.service.StudyService`, so searches
+are incremental: warm re-runs execute zero trials, rung promotions execute
+only newly added seeds, widened searches only the genuinely new points.
+Surface: ``abe-repro optimize <search.json>``; see ``docs/DSE.md``.
+"""
+
+from repro.dse.optimizer import Optimizer, run_search
+from repro.dse.report import GroupOutcome, PointOutcome, RoundOutcome, SearchReport, comparison_svg
+from repro.dse.space import (
+    DIMENSIONS,
+    CategoricalDimension,
+    Dimension,
+    IntRangeDimension,
+    LogUniformDimension,
+    SearchSpace,
+    point_key,
+    point_label,
+)
+from repro.dse.spec import SearchGroup, SearchSpec, load_search
+from repro.dse.strategies import (
+    STRATEGIES,
+    GridSearch,
+    RandomSearch,
+    SearchRound,
+    SuccessiveHalving,
+    build_strategy,
+)
+
+__all__ = [
+    "DIMENSIONS",
+    "STRATEGIES",
+    "CategoricalDimension",
+    "Dimension",
+    "GridSearch",
+    "GroupOutcome",
+    "IntRangeDimension",
+    "LogUniformDimension",
+    "Optimizer",
+    "PointOutcome",
+    "RandomSearch",
+    "RoundOutcome",
+    "SearchGroup",
+    "SearchReport",
+    "SearchRound",
+    "SearchSpace",
+    "SearchSpec",
+    "SuccessiveHalving",
+    "build_strategy",
+    "comparison_svg",
+    "load_search",
+    "point_key",
+    "point_label",
+    "run_search",
+]

@@ -1,0 +1,385 @@
+"""Searchable parameter spaces over :class:`~repro.scenarios.spec.ScenarioSpec`.
+
+A :class:`SearchSpace` is a frozen, JSON-round-trippable declaration of *which
+knobs a search may turn*: one base scenario (the paper's fixed constants) plus
+an ordered tuple of :class:`Dimension`\\ s, each naming a dotted path into the
+scenario document (``"a0"``, ``"topology.params.n"``,
+``"retransmission.success_probability"``, ``"delay"``) and the values that
+path may take.  Three dimension kinds cover the spec surface:
+
+* ``categorical`` -- an explicit choice list; values are arbitrary JSON
+  (numbers, booleans, whole ``{"kind": ..., "params": ...}`` nodes, or
+  ``null`` to mean "the spec default"), so delay models, schedules and
+  retransmission policies are searchable wholesale;
+* ``int-range`` -- an inclusive stepped integer range (ring sizes, rounds);
+* ``log-uniform`` -- a positive real interval sampled log-uniformly
+  (activation probabilities, timeout constants), with a geometric
+  ``points``-value grid for exhaustive search.
+
+``materialize(point)`` assigns one value per dimension into the base
+scenario's canonical dict form and re-validates through
+:meth:`~repro.scenarios.spec.ScenarioSpec.from_dict`, so an out-of-range or
+ill-typed point fails with the spec layer's own error before any simulation
+runs.  Dimension kinds are resolved through the string-keyed
+:data:`DIMENSIONS` registry (the same
+:class:`~repro.scenarios.registry.Registry` machinery as topologies and delay
+models), so third-party code can register new kinds before loading a search
+file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.scenarios.registry import Registry
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "DIMENSIONS",
+    "Dimension",
+    "CategoricalDimension",
+    "IntRangeDimension",
+    "LogUniformDimension",
+    "SearchSpace",
+    "dimension_from_dict",
+    "point_key",
+    "point_label",
+]
+
+
+def _split_field(path: str) -> Tuple[str, ...]:
+    parts = tuple(path.split("."))
+    if not path or not all(parts):
+        raise ValueError(f"dimension field must be a dotted path, got {path!r}")
+    return parts
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One searchable axis: a name, a spec field path, and a value set.
+
+    Subclasses supply ``kind`` (the registry key), :meth:`values` (the
+    exhaustive grid) and :meth:`sample` (one random draw).  ``exact`` tells
+    strategies whether :meth:`values` enumerates the axis completely
+    (categorical, int-range) or merely discretizes it (log-uniform).
+    """
+
+    name: str
+    field: str
+    kind = ""  # class attribute, overridden per subclass
+    exact = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"dimension name must be a non-empty string, got {self.name!r}")
+        top = _split_field(self.field)[0]
+        known = {f.name for f in dataclasses.fields(ScenarioSpec)}
+        if top not in known:
+            raise ValueError(
+                f"dimension {self.name!r} targets unknown scenario field {top!r} "
+                f"(path {self.field!r}); known fields: {sorted(known)}"
+            )
+
+    # Subclass API -----------------------------------------------------------
+
+    def values(self) -> List[Any]:
+        raise NotImplementedError
+
+    def sample(self, rng: Any) -> Any:
+        raise NotImplementedError
+
+    def _params(self) -> Dict[str, Any]:
+        """Kind-specific parameters for :meth:`to_dict` (subclasses extend)."""
+        raise NotImplementedError
+
+    # Round-trip -------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "kind": self.kind, "field": self.field}
+        out.update(self._params())
+        return out
+
+
+@dataclass(frozen=True)
+class CategoricalDimension(Dimension):
+    """An explicit, ordered choice list (JSON values, ``None`` allowed)."""
+
+    choices: Tuple[Any, ...] = ()
+    kind = "categorical"
+    description = "explicit choice list (numbers, spec nodes, null)"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "choices", tuple(self.choices))
+        if not self.choices:
+            raise ValueError(f"dimension {self.name!r} needs at least one choice")
+
+    def values(self) -> List[Any]:
+        return list(self.choices)
+
+    def sample(self, rng: Any) -> Any:
+        return self.choices[rng.randrange(len(self.choices))]
+
+    def _params(self) -> Dict[str, Any]:
+        return {"choices": list(self.choices)}
+
+
+@dataclass(frozen=True)
+class IntRangeDimension(Dimension):
+    """An inclusive stepped integer range ``low, low+step, ..., <= high``."""
+
+    low: int = 0
+    high: int = 0
+    step: int = 1
+    kind = "int-range"
+    exact = True
+    description = "inclusive stepped integer range"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.step < 1:
+            raise ValueError(f"dimension {self.name!r}: step must be >= 1, got {self.step}")
+        if self.high < self.low:
+            raise ValueError(
+                f"dimension {self.name!r}: high ({self.high}) must be >= low ({self.low})"
+            )
+
+    def values(self) -> List[int]:
+        return list(range(self.low, self.high + 1, self.step))
+
+    def sample(self, rng: Any) -> int:
+        count = (self.high - self.low) // self.step + 1
+        return self.low + self.step * rng.randrange(count)
+
+    def _params(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"low": self.low, "high": self.high}
+        if self.step != 1:
+            out["step"] = self.step
+        return out
+
+
+@dataclass(frozen=True)
+class LogUniformDimension(Dimension):
+    """A positive real interval sampled log-uniformly.
+
+    :meth:`values` returns a geometric ``points``-value grid (endpoints
+    included), which is the exhaustive-search discretization of the axis;
+    random and successive-halving search draw fresh log-uniform samples
+    instead.
+    """
+
+    low: float = 0.0
+    high: float = 0.0
+    points: int = 3
+    kind = "log-uniform"
+    exact = False
+    description = "positive real interval, sampled log-uniformly"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not (0.0 < self.low < self.high):
+            raise ValueError(
+                f"dimension {self.name!r}: need 0 < low < high, got "
+                f"low={self.low}, high={self.high}"
+            )
+        if self.points < 2:
+            raise ValueError(f"dimension {self.name!r}: points must be >= 2, got {self.points}")
+
+    def values(self) -> List[float]:
+        ratio = self.high / self.low
+        return [
+            self.low * ratio ** (index / (self.points - 1)) for index in range(self.points)
+        ]
+
+    def sample(self, rng: Any) -> float:
+        return math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+
+    def _params(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"low": self.low, "high": self.high}
+        if self.points != 3:
+            out["points"] = self.points
+        return out
+
+
+DIMENSIONS = Registry("dimension kind", "dimension kinds")
+DIMENSIONS.register("categorical", CategoricalDimension)
+DIMENSIONS.register("int-range", IntRangeDimension)
+DIMENSIONS.register("log-uniform", LogUniformDimension)
+
+
+def dimension_from_dict(data: Mapping[str, Any]) -> Dimension:
+    """Build a dimension from its flat JSON form ``{"name", "kind", "field", ...}``."""
+    if not isinstance(data, Mapping):
+        raise ValueError(f"dimension must be a mapping, got {data!r}")
+    if "kind" not in data:
+        raise ValueError(f"dimension is missing its 'kind': {dict(data)!r}")
+    params = {key: value for key, value in data.items() if key != "kind"}
+    if "choices" in params:
+        params["choices"] = tuple(params["choices"])
+    factory = DIMENSIONS.get(data["kind"])
+    try:
+        return factory(**params)
+    except TypeError as error:
+        raise ValueError(
+            f"bad parameters for dimension kind {data['kind']!r}: {error}"
+        ) from None
+
+
+# ------------------------------------------------------------------ points
+
+
+def point_key(point: Mapping[str, Any]) -> str:
+    """Canonical JSON key of one assignment dict (deterministic tie-breaker)."""
+    return json.dumps(point, sort_keys=True, separators=(",", ":"))
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return format(value, ".6g")
+    if isinstance(value, Mapping):
+        kind = value.get("kind")
+        if isinstance(kind, str):
+            return kind
+        return point_key(value)
+    if value is None:
+        return "default"
+    return str(value)
+
+
+def point_label(point: Mapping[str, Any]) -> str:
+    """Human-readable, deterministic label of one assignment dict.
+
+    Doubles as the materialized spec's ``label`` (the trial-seed family
+    name), so it depends only on the assignments -- the same configuration
+    carries the same label in every round, at every budget, which is what
+    makes rung promotions cache hits.
+    """
+    return ",".join(
+        f"{name}={_format_value(point[name])}" for name in sorted(point)
+    )
+
+
+def _assign(data: Dict[str, Any], path: Tuple[str, ...], value: Any, where: str) -> None:
+    node = data
+    for part in path[:-1]:
+        child = node.get(part)
+        if child is None:
+            child = {}
+            node[part] = child
+        elif not isinstance(child, dict):
+            raise ValueError(
+                f"dimension {where!r}: path segment {part!r} is not a mapping "
+                f"in the base scenario (found {child!r})"
+            )
+        node = child
+    node[path[-1]] = value
+
+
+# ------------------------------------------------------------------- space
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """One base scenario plus the dimensions a search may vary.
+
+    ``base`` carries everything the search holds fixed -- including the
+    paper's constants for every searched knob, which is what the optimizer's
+    baseline evaluation runs unchanged.
+    """
+
+    base: ScenarioSpec
+    dimensions: Tuple[Dimension, ...] = ()
+
+    def __post_init__(self) -> None:
+        base = self.base
+        if isinstance(base, Mapping):
+            base = ScenarioSpec.from_dict(base)
+        object.__setattr__(self, "base", base)
+        dims = tuple(
+            dim if isinstance(dim, Dimension) else dimension_from_dict(dim)
+            for dim in self.dimensions
+        )
+        object.__setattr__(self, "dimensions", dims)
+        if not dims:
+            raise ValueError("a search space needs at least one dimension")
+        names = [dim.name for dim in dims]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension name(s) in {names}")
+
+    # ----------------------------------------------------------- enumeration
+
+    def exhaustive(self) -> bool:
+        """Whether :meth:`grid` enumerates the space exactly."""
+        return all(dim.exact for dim in self.dimensions)
+
+    def grid(self) -> List[Dict[str, Any]]:
+        """The Cartesian product of per-dimension value grids, in axis order."""
+        axes = [dim.values() for dim in self.dimensions]
+        names = [dim.name for dim in self.dimensions]
+        return [
+            dict(zip(names, combo)) for combo in itertools.product(*axes)
+        ]
+
+    def size(self) -> int:
+        """Number of grid points (exact space size iff :meth:`exhaustive`)."""
+        total = 1
+        for dim in self.dimensions:
+            total *= len(dim.values())
+        return total
+
+    def sample(self, rng: Any) -> Dict[str, Any]:
+        """One random point: an independent draw per dimension."""
+        return {dim.name: dim.sample(rng) for dim in self.dimensions}
+
+    # --------------------------------------------------------- materializing
+
+    def materialize(self, point: Mapping[str, Any]) -> ScenarioSpec:
+        """The scenario a point denotes; validated by the spec layer.
+
+        ``point`` must assign exactly the declared dimensions.  The
+        materialized spec's ``label`` is :func:`point_label`, so the same
+        configuration keys the same trial-seed family in every round.
+        """
+        expected = {dim.name for dim in self.dimensions}
+        if set(point) != expected:
+            raise ValueError(
+                f"point must assign exactly the dimensions {sorted(expected)}; "
+                f"got {sorted(point)}"
+            )
+        data = self.base.to_dict()
+        for dim in self.dimensions:
+            _assign(data, _split_field(dim.field), point[dim.name], dim.name)
+        data["label"] = point_label(point)
+        return ScenarioSpec.from_dict(data)
+
+    def with_base(self, base: ScenarioSpec) -> "SearchSpace":
+        """The same dimensions over a different base (per-group overrides)."""
+        return SearchSpace(base=base, dimensions=self.dimensions)
+
+    # ------------------------------------------------------------ round-trip
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "base": self.base.to_dict(),
+            "dimensions": [dim.to_dict() for dim in self.dimensions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchSpace":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"search space must be a mapping, got {data!r}")
+        unknown = set(data) - {"base", "dimensions"}
+        if unknown:
+            raise ValueError(
+                f"unknown search-space key(s) {sorted(unknown)}; "
+                "expected 'base' and 'dimensions'"
+            )
+        return cls(
+            base=ScenarioSpec.from_dict(data.get("base", {})),
+            dimensions=tuple(data.get("dimensions", ())),
+        )

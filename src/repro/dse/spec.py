@@ -1,0 +1,200 @@
+"""The search document: everything one ``abe-repro optimize`` run needs.
+
+A :class:`SearchSpec` is the DSE counterpart of a
+:class:`~repro.scenarios.spec.StudySpec`: a frozen, JSON-round-trippable
+file declaring *the question* (metric + goal), *the space*
+(:class:`~repro.dse.space.SearchSpace`), *the method* (a strategy node
+resolved against :data:`~repro.dse.strategies.STRATEGIES`), *the groups*
+(per-group base overrides -- "per topology family" in the flagship study),
+and *the randomness* (one master seed; every stochastic choice in the search
+derives from its named ``"dse"`` stream).  ``load_search(path)`` is the CLI
+entry point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.dse.space import SearchSpace
+from repro.dse.strategies import build_strategy
+from repro.scenarios.spec import ScenarioSpec, SpecNode
+
+__all__ = ["SearchGroup", "SearchSpec", "load_search"]
+
+
+@dataclass(frozen=True)
+class SearchGroup:
+    """One named family the search optimizes independently.
+
+    ``overrides`` are top-level :class:`~repro.scenarios.spec.ScenarioSpec`
+    fields merged into the space's base scenario -- e.g. ``{"topology":
+    {"kind": "uniring", "params": {"n": 16}}}`` makes this group the 16-ring
+    family while the dimensions keep varying activation and delay knobs.
+    """
+
+    label: str
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.label, str) or not self.label:
+            raise ValueError(f"group label must be a non-empty string, got {self.label!r}")
+        overrides = dict(self.overrides)
+        known = {f.name for f in dataclasses.fields(ScenarioSpec)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ValueError(
+                f"group {self.label!r} overrides unknown scenario field(s) "
+                f"{sorted(unknown)}; known fields: {sorted(known)}"
+            )
+        object.__setattr__(self, "overrides", overrides)
+
+    def apply(self, base: ScenarioSpec) -> ScenarioSpec:
+        """The group's base scenario: overrides merged and re-validated."""
+        if not self.overrides:
+            return base
+        data = base.to_dict()
+        data.update(self.overrides)
+        return ScenarioSpec.from_dict(data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"label": self.label}
+        if self.overrides:
+            out["overrides"] = dict(self.overrides)
+        return out
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """A complete, reproducible design-space search.
+
+    Attributes
+    ----------
+    name:
+        Identifier; names the output directory and report.
+    space:
+        The searchable axes over one base scenario.
+    strategy:
+        ``{"kind": ..., "params": {...}}`` node resolved against
+        :data:`~repro.dse.strategies.STRATEGIES`.
+    metric:
+        Result field optimized (a key of each point's aggregate ``metrics``
+        block, compared by mean).
+    goal:
+        ``"min"`` or ``"max"``.
+    seed:
+        Master seed; all search randomness derives from its ``"dse"``
+        stream, so the whole search is one reproducible artifact.
+    trials:
+        Default per-point trial budget for strategies that do not set their
+        own (grid, random).
+    groups:
+        Families optimized independently; empty means one group named after
+        the search with no overrides.
+    stopping:
+        Optional :class:`~repro.experiments.runner.AdaptiveStopping`
+        mapping; the optimizer re-caps it at each round's budget, so early
+        killing composes with rung promotion.
+    title:
+        Presentation only.
+    """
+
+    name: str
+    space: SearchSpace
+    strategy: SpecNode
+    metric: str = "election_time"
+    goal: str = "min"
+    seed: int = 1
+    trials: int = 4
+    groups: Tuple[SearchGroup, ...] = ()
+    stopping: Optional[Any] = None  # AdaptiveStopping or mapping of its fields
+    title: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"search name must be a non-empty string, got {self.name!r}")
+        if isinstance(self.space, Mapping):
+            object.__setattr__(self, "space", SearchSpace.from_dict(self.space))
+        strategy = self.strategy
+        if not isinstance(strategy, SpecNode):
+            strategy = SpecNode.from_dict(strategy)
+        object.__setattr__(self, "strategy", strategy)
+        build_strategy(strategy)  # fail fast on unknown kinds / bad params
+        if self.goal not in ("min", "max"):
+            raise ValueError(f"goal must be 'min' or 'max', got {self.goal!r}")
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if not isinstance(self.metric, str) or not self.metric:
+            raise ValueError(f"metric must be a non-empty string, got {self.metric!r}")
+        groups = tuple(
+            group if isinstance(group, SearchGroup) else SearchGroup(**group)
+            for group in self.groups
+        )
+        labels = [group.label for group in groups]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate group label(s) in {labels}")
+        object.__setattr__(self, "groups", groups)
+        if self.stopping is not None:
+            from repro.experiments.runner import AdaptiveStopping  # late: cycle
+
+            if isinstance(self.stopping, Mapping):
+                object.__setattr__(self, "stopping", AdaptiveStopping(**self.stopping))
+            elif not isinstance(self.stopping, AdaptiveStopping):
+                raise ValueError(
+                    f"stopping must be an AdaptiveStopping or mapping, got {self.stopping!r}"
+                )
+
+    def resolved_groups(self) -> Tuple[SearchGroup, ...]:
+        """The groups, or the implicit whole-search group when none declared."""
+        if self.groups:
+            return self.groups
+        return (SearchGroup(label=self.name),)
+
+    # ------------------------------------------------------------ round-trip
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "space": self.space.to_dict(),
+            "strategy": self.strategy.to_dict(),
+            "metric": self.metric,
+            "goal": self.goal,
+            "seed": self.seed,
+            "trials": self.trials,
+        }
+        if self.groups:
+            out["groups"] = [group.to_dict() for group in self.groups]
+        if self.stopping is not None:
+            out["stopping"] = dataclasses.asdict(self.stopping)
+        if self.title:
+            out["title"] = self.title
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchSpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"search spec must be a mapping, got {data!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown search key(s) {sorted(unknown)}; known keys: {sorted(known)}"
+            )
+        if "space" not in data or "strategy" not in data:
+            raise ValueError("a search spec needs 'space' and 'strategy'")
+        return cls(**{key: data[key] for key in data})
+
+
+def load_search(path: str) -> SearchSpec:
+    """Parse one ``*.json`` search document from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not valid JSON ({error})") from None
+    try:
+        return SearchSpec.from_dict(data)
+    except ValueError as error:
+        raise ValueError(f"{path}: {error}") from None

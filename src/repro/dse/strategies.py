@@ -1,0 +1,256 @@
+"""Search strategies: round generators behind the :data:`STRATEGIES` registry.
+
+A strategy decides *which points to evaluate at which trial budget*, one
+:class:`SearchRound` at a time; it never executes anything.  The
+:class:`~repro.dse.optimizer.Optimizer` drives the loop::
+
+    round = strategy.first_round(space, rng, default_trials)
+    while round is not None:
+        losses = evaluate(round)            # via StudyService, cached
+        round = strategy.next_round(space, rng, round, losses)
+
+``losses`` align with ``round.points`` and are *lower-is-better* (the
+optimizer negates maximization metrics before handing them over), so
+strategies rank without knowing the metric.  Every random draw comes from
+the ``rng`` the optimizer passes in -- a :class:`random.Random` seeded from
+the search's named ``"dse"`` stream -- so a whole search is one reproducible
+artifact: same seed, same rounds, same winner.
+
+Three built-ins:
+
+* ``grid`` -- exhaustive Cartesian product, one round;
+* ``random`` -- ``samples`` distinct seeded draws, one round;
+* ``successive-halving`` -- ASHA-style rungs: start wide at a small budget,
+  promote the top ``1/eta`` fraction to an ``eta``-times larger budget,
+  repeat.  Losers are killed after the cheap rung; survivors are re-submitted
+  at the bigger budget, where the trials-independent store keys
+  (:func:`~repro.store.fingerprint.spec_fingerprint`) make the promotion
+  incremental -- only the *new* seeds execute.
+
+Strategies resolve through :data:`STRATEGIES` (the same string-keyed
+:class:`~repro.scenarios.registry.Registry` as topologies and delay models),
+so a search file names its strategy as ``{"kind": "successive-halving",
+"params": {...}}`` and third-party strategies plug in by registration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dse.space import SearchSpace, point_key
+from repro.scenarios.registry import Registry
+from repro.scenarios.spec import SpecNode
+
+__all__ = [
+    "STRATEGIES",
+    "SearchRound",
+    "GridSearch",
+    "RandomSearch",
+    "SuccessiveHalving",
+    "build_strategy",
+]
+
+#: Ceiling on rejected duplicate draws per requested sample; a space smaller
+#: than the requested sample count stops growing instead of spinning forever.
+_MAX_DRAW_FACTOR = 64
+
+
+@dataclass(frozen=True)
+class SearchRound:
+    """One batch of points to evaluate at one shared trial budget."""
+
+    index: int
+    budget: int
+    points: Tuple[Dict[str, Any], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(dict(point) for point in self.points))
+        if self.budget < 1:
+            raise ValueError(f"round budget must be >= 1, got {self.budget}")
+        if not self.points:
+            raise ValueError("a search round needs at least one point")
+
+
+def _rank(
+    points: Sequence[Mapping[str, Any]], losses: Sequence[float]
+) -> List[Dict[str, Any]]:
+    """Points ordered best-first; ties broken by canonical point key.
+
+    The key tiebreak (not input order) keeps the ranking -- and therefore
+    the winner -- invariant under point reordering, so two searches that
+    enumerate the same set differently still agree.
+    """
+    paired = sorted(
+        zip(points, losses), key=lambda pair: (pair[1], point_key(pair[0]))
+    )
+    return [dict(point) for point, _ in paired]
+
+
+def _distinct_samples(space: SearchSpace, rng: Any, count: int) -> List[Dict[str, Any]]:
+    """``count`` distinct draws (fewer if the space is smaller)."""
+    seen: set = set()
+    points: List[Dict[str, Any]] = []
+    attempts = 0
+    while len(points) < count and attempts < count * _MAX_DRAW_FACTOR:
+        attempts += 1
+        point = space.sample(rng)
+        key = point_key(point)
+        if key in seen:
+            continue
+        seen.add(key)
+        points.append(point)
+    return points
+
+
+@dataclass(frozen=True)
+class GridSearch:
+    """Exhaustive search: every grid point, one round, one budget.
+
+    ``trials=None`` defers to the search document's default budget.  On a
+    non-exhaustive space (a log-uniform axis) the "grid" is the axis's
+    geometric discretization -- still deterministic, no randomness consumed.
+    """
+
+    trials: Optional[int] = None
+    kind = "grid"
+    description = "exhaustive Cartesian grid, one round"
+
+    def __post_init__(self) -> None:
+        if self.trials is not None and self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+
+    def first_round(self, space: SearchSpace, rng: Any, default_trials: int) -> SearchRound:
+        return SearchRound(
+            index=0,
+            budget=self.trials if self.trials is not None else default_trials,
+            points=tuple(space.grid()),
+        )
+
+    def next_round(
+        self,
+        space: SearchSpace,
+        rng: Any,
+        previous: SearchRound,
+        losses: Sequence[float],
+    ) -> Optional[SearchRound]:
+        return None
+
+
+@dataclass(frozen=True)
+class RandomSearch:
+    """Seeded random search: ``samples`` distinct draws, one round."""
+
+    samples: int = 8
+    trials: Optional[int] = None
+    kind = "random"
+    description = "seeded random draws, one round"
+
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise ValueError(f"samples must be >= 1, got {self.samples}")
+        if self.trials is not None and self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+
+    def first_round(self, space: SearchSpace, rng: Any, default_trials: int) -> SearchRound:
+        return SearchRound(
+            index=0,
+            budget=self.trials if self.trials is not None else default_trials,
+            points=tuple(_distinct_samples(space, rng, self.samples)),
+        )
+
+    def next_round(
+        self,
+        space: SearchSpace,
+        rng: Any,
+        previous: SearchRound,
+        losses: Sequence[float],
+    ) -> Optional[SearchRound]:
+        return None
+
+
+@dataclass(frozen=True)
+class SuccessiveHalving:
+    """ASHA-style successive halving: wide and cheap, then narrow and deep.
+
+    Rung ``r`` evaluates its configurations at ``base_trials * eta**r``
+    trials; the top ``ceil(n / eta)`` (by loss, ties broken by canonical
+    point key) are promoted to rung ``r + 1``.  Rung budgets therefore
+    increase strictly, survivors are always a subset of the previous rung,
+    and -- because store keys ignore the trial count -- a promoted
+    configuration re-executes only the seeds its new budget adds.
+
+    Attributes
+    ----------
+    candidates:
+        Configurations in rung 0.  An exhaustive space no larger than this
+        is enumerated outright (the strategy degrades gracefully to "grid
+        with early killing"); otherwise ``candidates`` distinct random
+        draws.
+    eta:
+        Promotion factor: keep ``1/eta`` of each rung, multiply the budget
+        by ``eta``.
+    base_trials:
+        Rung-0 trial budget.
+    rungs:
+        Total rung count; ``None`` keeps halving until a single
+        configuration remains (so the winner is always evaluated at the
+        deepest budget alone).
+    """
+
+    candidates: int = 8
+    eta: int = 2
+    base_trials: int = 1
+    rungs: Optional[int] = None
+    kind = "successive-halving"
+    description = "ASHA rungs: promote top 1/eta to eta-times the budget"
+
+    def __post_init__(self) -> None:
+        if self.candidates < 2:
+            raise ValueError(f"candidates must be >= 2, got {self.candidates}")
+        if self.eta < 2:
+            raise ValueError(f"eta must be >= 2, got {self.eta}")
+        if self.base_trials < 1:
+            raise ValueError(f"base_trials must be >= 1, got {self.base_trials}")
+        if self.rungs is not None and self.rungs < 1:
+            raise ValueError(f"rungs must be >= 1, got {self.rungs}")
+
+    def first_round(self, space: SearchSpace, rng: Any, default_trials: int) -> SearchRound:
+        if space.exhaustive() and space.size() <= self.candidates:
+            points = space.grid()
+        else:
+            points = _distinct_samples(space, rng, self.candidates)
+        return SearchRound(index=0, budget=self.base_trials, points=tuple(points))
+
+    def next_round(
+        self,
+        space: SearchSpace,
+        rng: Any,
+        previous: SearchRound,
+        losses: Sequence[float],
+    ) -> Optional[SearchRound]:
+        if len(previous.points) <= 1:
+            return None
+        if self.rungs is not None and previous.index + 1 >= self.rungs:
+            return None
+        keep = max(1, math.ceil(len(previous.points) / self.eta))
+        survivors = _rank(previous.points, losses)[:keep]
+        return SearchRound(
+            index=previous.index + 1,
+            budget=previous.budget * self.eta,
+            points=tuple(survivors),
+        )
+
+
+STRATEGIES = Registry("search strategy", "search strategies")
+STRATEGIES.register("grid", GridSearch)
+STRATEGIES.register("random", RandomSearch)
+STRATEGIES.register("successive-halving", SuccessiveHalving)
+
+
+def build_strategy(node: Any) -> Any:
+    """Resolve a strategy from a :class:`SpecNode` (or its mapping form)."""
+    if not isinstance(node, SpecNode):
+        node = SpecNode.from_dict(node)
+    return STRATEGIES.build(node)

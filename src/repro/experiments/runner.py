@@ -117,6 +117,25 @@ class AdaptiveStopping:
             return self
         return replace(self, metric=default_metric)
 
+    def with_budget(self, budget: int) -> Optional["AdaptiveStopping"]:
+        """This rule capped at a fixed trial budget; ``None`` below 2 trials.
+
+        The budgeted execution policy of the design-space-exploration rungs
+        (:mod:`repro.dse.strategies`): a configuration promoted to a rung of
+        ``budget`` trials runs at most ``budget`` of them, stopping earlier
+        only when its confidence interval converges.  ``min_trials`` is
+        clamped into the budget (never below the 2 samples an interval
+        needs); a budget of 1 cannot support a convergence check at all, so
+        the rule switches itself off and the single trial just runs.
+        """
+        if budget < 2:
+            return None
+        return replace(
+            self,
+            max_trials=budget,
+            min_trials=max(2, min(self.min_trials, budget)),
+        )
+
 
 def adaptive_monte_carlo(
     run_one: Callable[[int], T],

@@ -1,0 +1,73 @@
+"""Columnar export of a :class:`~repro.store.result_store.ResultStore`.
+
+The first slice of the ROADMAP's columnar-analysis item: ``abe-repro
+export-store <store> --csv`` dumps every cached trial as one CSV row, ready
+for pandas/duckdb/spreadsheet analysis without this package installed.
+
+The schema is data-driven: four identity columns (``key``, ``seed``,
+``version``, ``created_at``) followed by the sorted union of the scalar
+fields found across all decoded payloads (minus any that shadow an
+identity column).  Scalars export natively;
+anything structured (nested dicts, lists, one-shot row batteries) is
+JSON-encoded in place so no information is dropped.  Row order follows
+:meth:`~repro.store.result_store.ResultStore.iter_rows` (key, seed,
+version), so the same store always exports byte-identically.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from typing import Any, Dict, IO, List, Tuple
+
+from repro.store.result_store import ResultStore
+
+__all__ = ["store_rows", "write_store_csv"]
+
+_IDENTITY_COLUMNS = ("key", "seed", "version", "created_at")
+
+
+def _flatten(result: Any) -> Dict[str, Any]:
+    """One payload as a flat field dict (non-mapping payloads get ``result``)."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return dataclasses.asdict(result)
+    if isinstance(result, dict):
+        return dict(result)
+    return {"result": result}
+
+
+def _cell(value: Any) -> Any:
+    if value is None or isinstance(value, (int, float, str, bool)):
+        return value
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def store_rows(
+    store: ResultStore, all_versions: bool = False
+) -> Tuple[List[str], List[List[Any]]]:
+    """``(header, rows)`` of the store's columnar form."""
+    flattened: List[Tuple[Tuple[str, int, str, float], Dict[str, Any]]] = [
+        ((key, seed, version, created_at), _flatten(result))
+        for key, seed, version, created_at, result in store.iter_rows(all_versions)
+    ]
+    # Payload fields shadowed by an identity column (a result's own ``seed``
+    # always equals the store key's) would duplicate the header; drop them.
+    fields = sorted(
+        {name for _, data in flattened for name in data} - set(_IDENTITY_COLUMNS)
+    )
+    header = list(_IDENTITY_COLUMNS) + fields
+    rows = [
+        list(identity) + [_cell(data.get(name)) for name in fields]
+        for identity, data in flattened
+    ]
+    return header, rows
+
+
+def write_store_csv(store: ResultStore, handle: IO[str], all_versions: bool = False) -> int:
+    """Write the store as CSV to ``handle``; returns the data-row count."""
+    header, rows = store_rows(store, all_versions)
+    writer = csv.writer(handle, lineterminator="\n")
+    writer.writerow(header)
+    writer.writerows(rows)
+    return len(rows)

@@ -67,12 +67,17 @@ def _canonical_default(value: Any) -> Any:
 def spec_fingerprint(spec: Any) -> Optional[str]:
     """Content-addressable key of a :class:`~repro.scenarios.spec.ScenarioSpec`.
 
-    The SHA-256 of the spec's canonical JSON form minus the two fields that
+    The SHA-256 of the spec's canonical JSON form minus the three fields that
     cannot change per-seed results: ``workers`` (execution is bit-identical
-    for any worker count) and ``stopping`` (adaptive rules choose *which*
-    derived seeds run, never what any seed produces).  Resuming a checkpointed
-    study with a different worker count or stopping rule therefore still hits
-    the journal.
+    for any worker count), ``stopping`` (adaptive rules choose *which*
+    derived seeds run, never what any seed produces) and ``trials`` (the
+    count only determines how many derived seeds run; trial ``i``'s result
+    is the same whether the spec asks for 2 trials or 200).  Resuming a
+    checkpointed study with a different worker count or stopping rule
+    therefore still hits the journal -- and growing a spec's trial budget
+    re-executes only the new seeds, which is what lets the DSE successive-
+    halving rungs (:mod:`repro.dse`) promote a configuration to a larger
+    budget incrementally instead of from scratch.
 
     Overrides may carry live runtime objects (e.g. a delay-model instance);
     :func:`_canonical_default` keeps the fingerprint total for dataclasses
@@ -85,6 +90,7 @@ def spec_fingerprint(spec: Any) -> Optional[str]:
     data = spec.to_dict()
     data.pop("workers", None)
     data.pop("stopping", None)
+    data.pop("trials", None)
     try:
         canonical = json.dumps(
             data, sort_keys=True, separators=(",", ":"), default=_canonical_default
@@ -97,15 +103,23 @@ def spec_fingerprint(spec: Any) -> Optional[str]:
 def study_fingerprint(study: Any) -> Optional[str]:
     """Content-addressable key of a :class:`~repro.scenarios.spec.StudySpec`.
 
-    Built from the metric and the ordered per-point :func:`spec_fingerprint`
-    keys (the name/title are presentation, not workload).  ``None`` if any
-    point refuses a key.
+    Built from the metric and the ordered per-point ``(spec_fingerprint,
+    trials)`` pairs (the name/title are presentation, not workload).  Trials
+    re-enter here even though :func:`spec_fingerprint` drops them: two
+    studies asking for different budgets of the same points are different
+    *studies* (their aggregates differ) even though their per-seed store
+    rows coincide.  ``None`` if any point refuses a key.
     """
     keys = [spec_fingerprint(point) for point in study.points]
     if any(key is None for key in keys):
         return None
     blob = json.dumps(
-        {"metric": study.metric, "points": keys}, sort_keys=True, separators=(",", ":")
+        {
+            "metric": study.metric,
+            "points": [[key, point.trials] for key, point in zip(keys, study.points)],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

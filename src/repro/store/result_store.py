@@ -220,6 +220,36 @@ class ResultStore:
 
     # ------------------------------------------------------------ introspection
 
+    def iter_rows(
+        self, all_versions: bool = False
+    ) -> Iterable[Tuple[str, int, str, float, Any]]:
+        """Yield ``(key, seed, version, created_at, decoded_result)`` rows.
+
+        Deterministic order (key, seed, version); current code version only
+        unless ``all_versions``.  This is the analysis-export surface
+        (``abe-repro export-store``) -- it never touches the hit/miss
+        counters, so exporting a store does not distort its cache stats.
+        """
+        if all_versions:
+            rows = self._conn.execute(
+                "SELECT key, seed, version, created_at, payload FROM results"
+                " ORDER BY key, seed, version"
+            )
+        else:
+            rows = self._conn.execute(
+                "SELECT key, seed, version, created_at, payload FROM results"
+                " WHERE version = ? ORDER BY key, seed, version",
+                (self.version,),
+            )
+        for key, seed, version, created_at, payload in rows:
+            yield (
+                str(key),
+                int(seed),
+                str(version),
+                float(created_at),
+                decode_result(json.loads(payload)),
+            )
+
     def keys(self) -> List[str]:
         """Distinct fingerprints present (any version)."""
         return [row[0] for row in self._conn.execute("SELECT DISTINCT key FROM results")]

@@ -1,0 +1,148 @@
+"""Search spaces: dimensions, grids, sampling, materialization, round-trip."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dse.space import (
+    DIMENSIONS,
+    CategoricalDimension,
+    IntRangeDimension,
+    LogUniformDimension,
+    SearchSpace,
+    dimension_from_dict,
+    point_label,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+BASE = {
+    "algorithm": "abe-election",
+    "topology": {"kind": "uniring", "params": {"n": 5}},
+    "seed": 3,
+    "trials": 2,
+    "a0": 0.2,
+}
+
+SPACE = {
+    "base": BASE,
+    "dimensions": [
+        {"name": "a0", "kind": "log-uniform", "field": "a0", "low": 0.05, "high": 0.4, "points": 3},
+        {"name": "n", "kind": "int-range", "field": "topology.params.n", "low": 4, "high": 8, "step": 2},
+        {
+            "name": "delay",
+            "kind": "categorical",
+            "field": "delay",
+            "choices": [None, {"kind": "constant", "params": {"value": 1.0}}],
+        },
+    ],
+}
+
+
+class TestDimensions:
+    def test_registry_knows_the_three_kinds(self):
+        assert DIMENSIONS.known() == ["categorical", "int-range", "log-uniform"]
+
+    def test_int_range_values_are_the_stepped_range(self):
+        dim = IntRangeDimension(name="n", field="topology.params.n", low=4, high=9, step=2)
+        assert dim.values() == [4, 6, 8]
+
+    def test_int_range_sample_stays_on_grid(self):
+        dim = IntRangeDimension(name="n", field="topology.params.n", low=4, high=9, step=2)
+        rng = random.Random(0)
+        assert all(dim.sample(rng) in (4, 6, 8) for _ in range(50))
+
+    def test_log_uniform_grid_is_geometric_with_endpoints(self):
+        dim = LogUniformDimension(name="a", field="a0", low=0.01, high=1.0, points=3)
+        values = dim.values()
+        assert values[0] == pytest.approx(0.01)
+        assert values[1] == pytest.approx(0.1)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_log_uniform_samples_within_bounds(self):
+        dim = LogUniformDimension(name="a", field="a0", low=0.01, high=1.0)
+        rng = random.Random(1)
+        assert all(0.01 <= dim.sample(rng) <= 1.0 for _ in range(200))
+
+    def test_categorical_rejects_empty_choices(self):
+        with pytest.raises(ValueError, match="at least one choice"):
+            CategoricalDimension(name="d", field="delay", choices=())
+
+    def test_unknown_scenario_field_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            IntRangeDimension(name="x", field="no_such_field", low=0, high=1)
+
+    def test_round_trip_through_dict(self):
+        dim = LogUniformDimension(name="a", field="a0", low=0.01, high=1.0, points=5)
+        again = dimension_from_dict(dim.to_dict())
+        assert again == dim
+
+    def test_bad_kind_names_candidates(self):
+        with pytest.raises(ValueError, match="known dimension kinds"):
+            dimension_from_dict({"name": "x", "kind": "gaussian", "field": "a0"})
+
+
+class TestSearchSpace:
+    def test_grid_is_the_cartesian_product(self):
+        space = SearchSpace.from_dict(SPACE)
+        grid = space.grid()
+        assert len(grid) == 3 * 3 * 2 == space.size()
+        assert len({point_label(p) for p in grid}) == len(grid)
+
+    def test_exhaustive_only_without_continuous_dimensions(self):
+        space = SearchSpace.from_dict(SPACE)
+        assert not space.exhaustive()  # log-uniform axis
+        discrete = SearchSpace.from_dict(
+            {"base": BASE, "dimensions": [SPACE["dimensions"][1]]}
+        )
+        assert discrete.exhaustive()
+
+    def test_materialize_assigns_dotted_paths(self):
+        space = SearchSpace.from_dict(SPACE)
+        spec = space.materialize({"a0": 0.1, "n": 6, "delay": None})
+        assert isinstance(spec, ScenarioSpec)
+        assert spec.a0 == pytest.approx(0.1)
+        assert spec.topology.params["n"] == 6
+        assert spec.delay is None
+
+    def test_materialize_label_depends_only_on_assignments(self):
+        space = SearchSpace.from_dict(SPACE)
+        point = {"a0": 0.1, "n": 6, "delay": {"kind": "constant", "params": {"value": 1.0}}}
+        assert space.materialize(point).label == space.materialize(dict(point)).label
+        assert space.materialize(point).label == point_label(point)
+
+    def test_materialize_validates_through_the_spec_layer(self):
+        space = SearchSpace.from_dict(SPACE)
+        with pytest.raises(ValueError):
+            space.materialize({"a0": -1.0, "n": 6, "delay": None})
+
+    def test_materialize_rejects_missing_or_extra_assignments(self):
+        space = SearchSpace.from_dict(SPACE)
+        with pytest.raises(ValueError, match="exactly the dimensions"):
+            space.materialize({"a0": 0.1})
+        with pytest.raises(ValueError, match="exactly the dimensions"):
+            space.materialize({"a0": 0.1, "n": 6, "delay": None, "extra": 1})
+
+    def test_duplicate_dimension_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate dimension"):
+            SearchSpace.from_dict(
+                {"base": BASE, "dimensions": [SPACE["dimensions"][0]] * 2}
+            )
+
+    def test_round_trip_through_dict(self):
+        space = SearchSpace.from_dict(SPACE)
+        again = SearchSpace.from_dict(space.to_dict())
+        assert again.to_dict() == space.to_dict()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown search-space key"):
+            SearchSpace.from_dict({"base": BASE, "dims": []})
+
+    def test_sampling_is_deterministic_for_a_seed(self):
+        space = SearchSpace.from_dict(SPACE)
+        first, second = random.Random(7), random.Random(7)
+        a = [space.sample(first) for _ in range(3)]
+        b = [space.sample(second) for _ in range(3)]
+        assert a == b
+        assert len({point_label(p) for p in a}) > 1  # the stream advances

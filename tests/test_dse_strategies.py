@@ -1,0 +1,170 @@
+"""Search strategies: rounds, promotion, and the successive-halving properties."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.space import SearchSpace, point_key
+from repro.dse.strategies import (
+    STRATEGIES,
+    GridSearch,
+    RandomSearch,
+    SuccessiveHalving,
+    build_strategy,
+)
+
+BASE = {
+    "algorithm": "abe-election",
+    "topology": {"kind": "uniring", "params": {"n": 5}},
+    "seed": 3,
+    "trials": 2,
+}
+
+#: 4 x 3 exhaustive space (both axes discrete).
+DISCRETE = SearchSpace.from_dict(
+    {
+        "base": BASE,
+        "dimensions": [
+            {"name": "n", "kind": "int-range", "field": "topology.params.n", "low": 4, "high": 10, "step": 2},
+            {"name": "a0", "kind": "categorical", "field": "a0", "choices": [0.1, 0.2, 0.3]},
+        ],
+    }
+)
+
+#: Continuous space: sampling never exhausts it.
+CONTINUOUS = SearchSpace.from_dict(
+    {
+        "base": BASE,
+        "dimensions": [
+            {"name": "a0", "kind": "log-uniform", "field": "a0", "low": 0.01, "high": 0.5},
+        ],
+    }
+)
+
+
+def _drive(strategy, space, seed, losses_of):
+    """Run the strategy loop with a pure loss function; returns the rounds."""
+    rng = random.Random(seed)
+    rounds = []
+    current = strategy.first_round(space, rng, 4)
+    while current is not None:
+        rounds.append(current)
+        losses = [losses_of(point) for point in current.points]
+        current = strategy.next_round(space, rng, current, losses)
+    return rounds
+
+
+class TestRegistry:
+    def test_known_strategies(self):
+        assert STRATEGIES.known() == ["grid", "random", "successive-halving"]
+
+    def test_build_from_node_dict(self):
+        strategy = build_strategy({"kind": "successive-halving", "params": {"candidates": 4}})
+        assert isinstance(strategy, SuccessiveHalving)
+        assert strategy.candidates == 4
+
+    def test_unknown_strategy_names_candidates(self):
+        with pytest.raises(ValueError, match="known search strategies"):
+            build_strategy({"kind": "bayesian"})
+
+    def test_bad_params_are_readable(self):
+        with pytest.raises(ValueError, match="successive-halving"):
+            build_strategy({"kind": "successive-halving", "params": {"rung": 3}})
+
+
+class TestGridAndRandom:
+    def test_grid_is_one_round_of_the_whole_grid(self):
+        rounds = _drive(GridSearch(), DISCRETE, 0, lambda p: 0.0)
+        assert len(rounds) == 1
+        assert len(rounds[0].points) == 12
+        assert rounds[0].budget == 4  # the default budget
+
+    def test_grid_trials_override(self):
+        rounds = _drive(GridSearch(trials=9), DISCRETE, 0, lambda p: 0.0)
+        assert rounds[0].budget == 9
+
+    def test_random_draws_distinct_points(self):
+        rounds = _drive(RandomSearch(samples=8), DISCRETE, 1, lambda p: 0.0)
+        keys = [point_key(p) for p in rounds[0].points]
+        assert len(set(keys)) == len(keys) == 8
+
+    def test_random_caps_at_space_size(self):
+        rounds = _drive(RandomSearch(samples=100), DISCRETE, 1, lambda p: 0.0)
+        assert len(rounds[0].points) == 12
+
+
+class TestSuccessiveHalving:
+    def test_small_exhaustive_space_is_enumerated(self):
+        strategy = SuccessiveHalving(candidates=16, eta=2, base_trials=1)
+        rng = random.Random(0)
+        first = strategy.first_round(DISCRETE, rng, 4)
+        assert sorted(point_key(p) for p in first.points) == sorted(
+            point_key(p) for p in DISCRETE.grid()
+        )
+
+    def test_rungs_deepen_until_one_survivor_by_default(self):
+        strategy = SuccessiveHalving(candidates=8, eta=2, base_trials=1)
+        rounds = _drive(strategy, CONTINUOUS, 5, lambda p: p["a0"])
+        assert [len(r.points) for r in rounds] == [8, 4, 2, 1]
+        assert [r.budget for r in rounds] == [1, 2, 4, 8]
+
+    def test_promotion_keeps_the_best_by_loss(self):
+        strategy = SuccessiveHalving(candidates=4, eta=2, base_trials=1, rungs=2)
+        rounds = _drive(strategy, CONTINUOUS, 5, lambda p: p["a0"])
+        survivors = {point_key(p) for p in rounds[1].points}
+        ranked = sorted(rounds[0].points, key=lambda p: (p["a0"], point_key(p)))
+        assert survivors == {point_key(p) for p in ranked[:2]}
+
+    # ------------------------------------------------ hypothesis properties
+
+    @given(
+        candidates=st.integers(min_value=2, max_value=16),
+        eta=st.integers(min_value=2, max_value=4),
+        base_trials=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_survivors_are_a_subset_and_budgets_strictly_increase(
+        self, candidates, eta, base_trials, seed
+    ):
+        strategy = SuccessiveHalving(candidates=candidates, eta=eta, base_trials=base_trials)
+        loss_rng = random.Random(seed ^ 0xABE)
+        losses = {}
+
+        def loss_of(point):
+            return losses.setdefault(point_key(point), loss_rng.random())
+
+        rounds = _drive(strategy, CONTINUOUS, seed, loss_of)
+        assert rounds, "at least one rung"
+        for earlier, later in zip(rounds, rounds[1:]):
+            earlier_keys = {point_key(p) for p in earlier.points}
+            later_keys = {point_key(p) for p in later.points}
+            assert later_keys <= earlier_keys  # survivors ⊆ candidates
+            assert later.budget > earlier.budget  # rung budgets strictly increase
+            assert len(later.points) < len(earlier.points)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_winner_is_deterministic_for_a_fixed_seed(self, seed):
+        strategy = SuccessiveHalving(candidates=6, eta=2, base_trials=1)
+
+        def run():
+            loss_rng = random.Random(seed + 1)
+            losses = {}
+
+            def loss_of(point):
+                return losses.setdefault(point_key(point), loss_rng.random())
+
+            rounds = _drive(strategy, CONTINUOUS, seed, loss_of)
+            final = rounds[-1]
+            ranked = sorted(
+                zip(final.points, [loss_of(p) for p in final.points]),
+                key=lambda pair: (pair[1], point_key(pair[0])),
+            )
+            return point_key(ranked[0][0])
+
+        assert run() == run()
